@@ -1,0 +1,30 @@
+# Convenience targets for the ENLD reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-record:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-record:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+report:
+	$(PYTHON) -m repro report --results benchmarks/results -o EXPERIMENTS.md
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

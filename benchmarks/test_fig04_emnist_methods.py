@@ -1,0 +1,19 @@
+"""Fig. 4 — method comparison on the EMNIST analog (26 classes).
+
+Paper shape: training-based methods (ENLD, Topofilter) beat
+confidence-only methods (Default, CL-1, CL-2); ENLD leads on mean F1.
+Paper numbers: ENLD 0.9191 vs Topofilter 0.9021 mean F1.
+"""
+
+from _common import (assert_paper_ordering, emit, method_comparison_text,
+                     run_once)
+
+from repro.experiments import bench_preset, method_comparison
+
+
+def test_fig04_emnist_methods(benchmark):
+    preset = bench_preset("emnist_like")
+    result = run_once(benchmark, lambda: method_comparison(preset))
+    emit("fig04_emnist_methods", method_comparison_text(result),
+         payload=result)
+    assert_paper_ordering(result)

@@ -1,0 +1,18 @@
+"""Fig. 5 — method comparison on the CIFAR100 analog (100 classes).
+
+Paper shape: ENLD (0.8194 mean F1) edges out Topofilter (0.8139), both
+clearly above Default/CL.
+"""
+
+from _common import (assert_paper_ordering, emit, method_comparison_text,
+                     run_once)
+
+from repro.experiments import bench_preset, method_comparison
+
+
+def test_fig05_cifar_methods(benchmark):
+    preset = bench_preset("cifar100_like")
+    result = run_once(benchmark, lambda: method_comparison(preset))
+    emit("fig05_cifar_methods", method_comparison_text(result),
+         payload=result)
+    assert_paper_ordering(result)

@@ -1,0 +1,33 @@
+"""Fig. 6 — ENLD vs Topofilter under different architectures.
+
+Paper shape: ENLD keeps its F1 lead over Topofilter when the backbone
+changes (DenseNet-121, ResNet-164 analogs), and remains cheaper per
+request (2.46x / 2.64x process-time savings in the paper).
+"""
+
+from _common import emit, run_once
+
+from repro.eval.reporting import format_table
+from repro.experiments import bench_preset, fig6_networks
+
+
+def test_fig06_networks(benchmark):
+    preset = bench_preset("cifar100_like")
+    result = run_once(
+        benchmark,
+        lambda: fig6_networks(preset,
+                              model_names=("densenet121", "resnet164")))
+
+    rows = []
+    for model_name, stats in result.items():
+        rows.append([model_name, "enld", stats["enld"]["f1"],
+                     stats["enld"]["mean_process_seconds"]])
+        rows.append([model_name, "topofilter", stats["topofilter"]["f1"],
+                     stats["topofilter"]["mean_process_seconds"]])
+    emit("fig06_networks",
+         format_table(["model", "method", "f1", "process_s"], rows,
+                      title="Fig.6: architecture generalisation (eta=0.2)"),
+         payload=result)
+
+    for model_name, stats in result.items():
+        assert stats["enld"]["f1"] > stats["topofilter"]["f1"], model_name

@@ -1,0 +1,34 @@
+"""Fig. 11 — detection quality vs contrastive-sample size k.
+
+Paper shape: F1 rises with k (more contrastive samples per ambiguous
+sample), with diminishing returns after k=3; larger k helps most at the
+highest noise rate.
+"""
+
+from _common import emit, run_once
+
+from repro.eval.reporting import format_table
+from repro.experiments import bench_preset, fig11_12_k_sweep
+
+KS = (1, 2, 3, 4)
+
+
+def test_fig11_k_sweep(benchmark):
+    preset = bench_preset("cifar100_like")
+    result = run_once(benchmark, lambda: fig11_12_k_sweep(preset, ks=KS))
+
+    rows = []
+    for eta_key, block in result["per_noise_rate"].items():
+        for k in KS:
+            stats = block[f"k={k}"]
+            rows.append([eta_key, k, stats["precision"], stats["recall"],
+                         stats["f1"]])
+    emit("fig11_k_sweep",
+         format_table(["noise", "k", "precision", "recall", "f1"], rows,
+                      title="Fig.11: hyperparameter k sweep"),
+         payload=result)
+
+    mean = result["mean"]
+    # k>=3 must beat the single-sample setting on mean F1.
+    best_large = max(mean["k=3"]["f1"], mean["k=4"]["f1"])
+    assert best_large >= mean["k=1"]["f1"] - 0.02

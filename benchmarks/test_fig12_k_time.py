@@ -1,0 +1,34 @@
+"""Fig. 12 — process time and F1 vs contrastive-sample size k.
+
+Paper shape: process time generally grows with k (bigger contrastive
+sets per fine-tuning epoch), but not strictly — the paper observes
+k=3 sometimes *cheaper* than k=2 because richer contrastive sets
+converge (shrink the ambiguous set) faster.
+"""
+
+from _common import emit, run_once
+
+from repro.eval.reporting import series_table
+from repro.experiments import bench_preset, fig11_12_k_sweep
+
+KS = (1, 2, 3, 4)
+
+
+def test_fig12_k_time(benchmark):
+    # Reuses the k-sweep driver; this bench reports the cost view.
+    preset = bench_preset("cifar100_like").with_overrides(
+        noise_rates=(0.2, 0.4))
+    result = run_once(benchmark, lambda: fig11_12_k_sweep(preset, ks=KS))
+
+    mean = result["mean"]
+    emit("fig12_k_time",
+         series_table("k", list(KS), {
+             "mean_f1": [mean[f"k={k}"]["f1"] for k in KS],
+             "process_s": [mean[f"k={k}"]["mean_process_seconds"]
+                           for k in KS],
+         }, title="Fig.12: process time and F1 vs k"),
+         payload=result)
+
+    # Coarse shape: the largest k costs at least as much as the smallest.
+    assert mean["k=4"]["mean_process_seconds"] \
+        >= 0.8 * mean["k=1"]["mean_process_seconds"]

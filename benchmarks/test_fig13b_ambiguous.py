@@ -1,0 +1,24 @@
+"""Fig. 13b — the ambiguous set shrinks across detection iterations.
+
+Paper shape: |A| decreases monotonically during fine-grained detection,
+which is what makes re-sampling progressively cheaper (§IV-E).
+"""
+
+from _common import emit, run_once
+
+from repro.eval.reporting import series_table
+from repro.experiments import bench_preset, fig13b_ambiguous_counts
+
+
+def test_fig13b_ambiguous(benchmark):
+    preset = bench_preset("cifar100_like")
+    result = run_once(benchmark, lambda: fig13b_ambiguous_counts(preset))
+
+    series = result["num_ambiguous"]
+    emit("fig13b_ambiguous",
+         series_table("iteration", list(range(len(series))),
+                      {"num_ambiguous": series},
+                      title="Fig.13b: |A| per iteration (eta=0.2)"),
+         payload=result)
+
+    assert series[-1] <= series[0]

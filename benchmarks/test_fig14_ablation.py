@@ -1,0 +1,49 @@
+"""Fig. 14 — ablation study: remove one ENLD component at a time.
+
+Paper shape: removing contrastive sampling (ENLD-1) is the most
+damaging (0.8139 → 0.6721 mean F1); removing majority voting (ENLD-2)
+helps slightly at low noise but hurts badly at high noise; dropping
+``C = C ∪ S`` (ENLD-3) destabilises training; querying by observed
+label (ENLD-4) wins only at the lowest noise rate.
+"""
+
+from _common import emit, run_once
+
+from repro.eval.reporting import format_table
+from repro.experiments import ABLATIONS, bench_preset, fig14_ablation
+
+
+def test_fig14_ablation(benchmark):
+    # Extra shards: ablation gaps are a few F1 points at bench scale.
+    preset = bench_preset("cifar100_like").with_overrides(shard_limit=10)
+    result = run_once(benchmark,
+                      lambda: fig14_ablation(preset, variants=ABLATIONS))
+
+    rows = []
+    for eta_key, block in result["per_noise_rate"].items():
+        for variant in ABLATIONS:
+            rows.append([eta_key, variant, block[variant]["precision"],
+                         block[variant]["recall"], block[variant]["f1"]])
+    means = "\n".join(
+        f"  {v}: {result['mean_f1'][v]:.4f}"
+        for v in sorted(ABLATIONS, key=lambda v: -result["mean_f1"][v]))
+    emit("fig14_ablation",
+         format_table(["noise", "variant", "precision", "recall", "f1"],
+                      rows, title="Fig.14: ablation study")
+         + "\n\nMean F1:\n" + means,
+         payload=result)
+
+    f1 = result["mean_f1"]
+    # Contrastive sampling is the essential ingredient; its advantage
+    # concentrates at the higher noise rates (the paper's Fig. 14 bars
+    # diverge most at η=0.3/0.4), so assert on that regime plus an
+    # overall no-worse check.
+    high = [k for k in result["per_noise_rate"]
+            if float(k.split("=")[1]) >= 0.3]
+    def high_mean(variant):
+        return sum(result["per_noise_rate"][k][variant]["f1"]
+                   for k in high) / len(high)
+    assert high_mean("origin") > high_mean("enld-1")
+    assert f1["origin"] >= f1["enld-1"] - 0.01
+    for variant in ("enld-1", "enld-3"):
+        assert f1["origin"] > f1[variant] - 0.02, variant

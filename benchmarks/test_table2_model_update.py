@@ -1,0 +1,36 @@
+"""Table II — generalisation before/after the Alg. 4 model update.
+
+Paper shape: retraining on the stringently-voted clean inventory set
+improves validation accuracy at every noise rate (58.93→61.31 at
+η=0.1 … 37.17→37.23 at η=0.4, gains shrinking as noise grows).
+"""
+
+from _common import emit, run_once
+
+from repro.eval.reporting import format_table
+from repro.experiments import bench_preset, table2_model_update
+
+
+def test_table2_model_update(benchmark):
+    # All 20 shards: S_c must cover (nearly) all classes for the update
+    # to refine rather than forget — matching the paper's protocol of
+    # updating after the full stream.
+    preset = bench_preset("cifar100_like").with_overrides(shard_limit=None)
+    result = run_once(benchmark, lambda: table2_model_update(preset))
+
+    rows = [[eta_key, block["origin_accuracy"], block["update_accuracy"],
+             block["clean_inventory_selected"]]
+            for eta_key, block in result.items()]
+    emit("table2_model_update",
+         format_table(["noise", "origin_acc", "update_acc", "|S_c|"],
+                      rows, title="Table II: model update"),
+         payload=result)
+
+    improvements = [block["update_accuracy"] - block["origin_accuracy"]
+                    for block in result.values()]
+    # The update must help on average and never collapse the model.
+    assert sum(improvements) / len(improvements) > -0.02
+    for eta_key, block in result.items():
+        assert block["update_accuracy"] > block["origin_accuracy"] - 0.1, \
+            eta_key
+        assert block["clean_inventory_selected"] > 0, eta_key

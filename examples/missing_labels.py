@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Missing-label scenario (paper §V-H).
+
+Missing labels are a special case of noisy labels: during fine-grained
+detection every unlabelled sample receives one pseudo-label vote per
+training step and is assigned its majority vote at the end.  This
+example drops 25% / 50% / 75% of the labels in arriving datasets and
+reports the pseudo-label quality alongside the usual detection F1.
+
+Run:  python examples/missing_labels.py
+"""
+
+import numpy as np
+
+from repro import ArrivalStream, ENLD, ENLDConfig
+from repro.core.missing import missing_label_report, missing_rows
+from repro.datasets import (generate, paper_shard_plan,
+                            split_inventory_incremental, toy)
+from repro.eval import score_detection
+from repro.noise import corrupt_labels, pair_asymmetric
+
+
+def main() -> None:
+    rng = np.random.default_rng(20)
+    data = generate(toy(num_classes=6, samples_per_class=100), seed=21)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(6, noise_rate=0.2)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+
+    config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
+                        init_epochs=18, iterations=3)
+    enld = ENLD(config).initialize(inventory)
+    print(f"platform ready (setup {enld.setup_seconds:.1f}s)\n")
+
+    for fraction in (0.25, 0.5, 0.75):
+        stream = ArrivalStream(pool, paper_shard_plan("toy"),
+                               transition=transition,
+                               missing_fraction=fraction, seed=22)
+        arrival = stream.arrivals()[0]
+        result = enld.detect(arrival)
+        report = missing_label_report(result, arrival)
+        score = score_detection(result, arrival)
+
+        rows = missing_rows(arrival)
+        recovered = result.pseudo_labels[rows]
+        print(f"missing fraction {fraction:.0%}: "
+              f"{report['missing_count']} unlabelled samples")
+        print(f"  pseudo-label accuracy: {report['pseudo_accuracy']:.3f} "
+              f"(macro F1 {report['pseudo_f1']:.3f})")
+        print(f"  noisy-label detection F1 on labelled part: "
+              f"{score.f1:.3f}")
+        print(f"  example recovered labels: "
+              f"{list(zip(rows[:4].tolist(), recovered[:4].tolist()))}\n")
+
+
+if __name__ == "__main__":
+    main()

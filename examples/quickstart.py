@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: detect noisy labels in an arriving dataset.
+
+This is the smallest end-to-end use of the library:
+
+1. generate a synthetic labelled dataset (stand-in for your data lake);
+2. split it into inventory data and an incremental pool;
+3. corrupt labels with pair-asymmetric noise;
+4. initialise ENLD (train the general model, estimate P̃);
+5. detect noisy labels in one arriving dataset and score the result.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ENLD, ArrivalStream, ENLDConfig
+from repro.datasets import (paper_shard_plan, generate,
+                            split_inventory_incremental, toy)
+from repro.eval import score_detection
+from repro.noise import corrupt_labels, pair_asymmetric
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. A small 6-class dataset (each sample has hidden ground truth).
+    data = generate(toy(num_classes=6, samples_per_class=80), seed=1)
+    print(f"dataset: {len(data)} samples, {data.num_classes} classes")
+
+    # 2. Inventory : incremental pool at the paper's 2:1 ratio.
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+
+    # 3. 20% pair-asymmetric noise everywhere (class i -> i+1).
+    transition = pair_asymmetric(6, noise_rate=0.2)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    arrivals = ArrivalStream(pool, paper_shard_plan("toy"),
+                             transition=transition, seed=2).arrivals()
+
+    # 4. Initialise the platform: train θ on I_t with Mixup, estimate P̃.
+    config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
+                        init_epochs=15, iterations=3)
+    enld = ENLD(config).initialize(inventory)
+    print(f"setup took {enld.setup_seconds:.1f}s "
+          f"({enld.setup_train_samples} training sample-epochs)")
+
+    # 5. Detect noisy labels in the first arriving dataset.
+    arrival = arrivals[0]
+    result = enld.detect(arrival)
+    score = score_detection(result, arrival)
+    print(f"\narrival {arrival.name!r}: {len(arrival)} samples, "
+          f"true noise rate {arrival.noise_rate():.2f}")
+    print(f"flagged {result.num_noisy} samples as noisy "
+          f"in {result.process_seconds:.2f}s")
+    print(f"precision={score.precision:.3f} recall={score.recall:.3f} "
+          f"f1={score.f1:.3f}")
+
+    # The noisy subset is ready for relabelling or exclusion:
+    noisy = arrival.mask(result.noisy_mask)
+    print(f"first five flagged sample ids: {noisy.ids[:5].tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""ENLD — Efficient Noisy Label Detection for Incremental Datasets in a
+Data Lake (ICDE 2023), reproduced end-to-end in pure Python/numpy.
+
+Top-level convenience re-exports cover the public entry points; see the
+subpackages for the full API:
+
+- :mod:`repro.core`      — the ENLD framework (the paper's contribution);
+- :mod:`repro.nn`        — from-scratch autograd NN substrate;
+- :mod:`repro.datasets`  — synthetic benchmark datasets and splits;
+- :mod:`repro.noise`     — label-noise models and injection;
+- :mod:`repro.index`     — KD-tree nearest-neighbour indexes;
+- :mod:`repro.datalake`  — platform catalog and arrival simulation;
+- :mod:`repro.baselines` — Default / Confident Learning / Topofilter;
+- :mod:`repro.eval`      — detection metrics, timing, runners;
+- :mod:`repro.experiments` — per-figure/table experiment drivers.
+"""
+
+from .core import ENLD, DetectionResult, ENLDConfig
+from .datalake import ArrivalStream, DataLakeCatalog
+from .nn.data import LabeledDataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ENLD", "ENLDConfig", "DetectionResult",
+    "LabeledDataset", "ArrivalStream", "DataLakeCatalog",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""``repro.baselines`` — comparison detectors from the paper (§V-A4)."""
+
+from .base import NoisyLabelDetector
+from .confident_learning import (ConfidentLearningDetector, class_thresholds,
+                                 confident_joint)
+from .default import DefaultDetector
+from .loss_tracking import O2UDetector, SmallLossDetector, per_sample_losses
+from .topofilter import TopofilterDetector, knn_graph_components
+
+__all__ = [
+    "NoisyLabelDetector",
+    "DefaultDetector",
+    "ConfidentLearningDetector", "class_thresholds", "confident_joint",
+    "TopofilterDetector", "knn_graph_components",
+    "O2UDetector", "SmallLossDetector", "per_sample_losses",
+]

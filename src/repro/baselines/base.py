@@ -1,0 +1,54 @@
+"""Common detector interface shared by ENLD and the baselines."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.detector import DetectionResult
+from ..nn.data import LabeledDataset
+from ..noise.injector import MISSING_LABEL
+
+
+class NoisyLabelDetector(ABC):
+    """A detector that partitions a dataset into clean and noisy parts.
+
+    Subclasses implement :meth:`_detect`; the public :meth:`detect`
+    wraps it with wall-clock timing so every method reports comparable
+    *process time* (paper §V-A3).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.setup_seconds: float = 0.0
+        self.setup_train_samples: int = 0
+
+    def detect(self, dataset: LabeledDataset) -> DetectionResult:
+        """Detect noisy labels; returns a timed :class:`DetectionResult`."""
+        start = time.perf_counter()
+        result = self._detect(dataset)
+        result.process_seconds = time.perf_counter() - start
+        result.detector_name = self.name
+        return result
+
+    @abstractmethod
+    def _detect(self, dataset: LabeledDataset) -> DetectionResult:
+        """Implementation hook."""
+
+    @staticmethod
+    def _result_from_noisy_mask(dataset: LabeledDataset,
+                                noisy_mask: np.ndarray,
+                                train_samples: int = 0) -> DetectionResult:
+        """Assemble a result given the noisy mask over labelled rows."""
+        labeled = dataset.y != MISSING_LABEL
+        noisy_mask = np.asarray(noisy_mask, dtype=bool) & labeled
+        return DetectionResult(
+            clean_mask=labeled & ~noisy_mask,
+            noisy_mask=noisy_mask,
+            inventory_clean_positions=np.empty(0, dtype=int),
+            pseudo_labels=np.full(len(dataset), -1, dtype=int),
+            train_samples=train_samples,
+        )

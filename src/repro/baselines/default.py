@@ -1,0 +1,27 @@
+"""The Default baseline (paper §V-A4).
+
+Uses the pre-trained general model directly: a sample is flagged noisy
+when ``argmax M(x, θ) ≠ ỹ``.  Zero per-request training cost; accuracy
+entirely dependent on the general model's generalisation.
+"""
+
+from __future__ import annotations
+
+from ..core.detector import DetectionResult
+from ..nn.data import LabeledDataset
+from ..nn.models import Classifier
+from .base import NoisyLabelDetector
+
+
+class DefaultDetector(NoisyLabelDetector):
+    """Flag disagreements between the general model and observed labels."""
+
+    name = "default"
+
+    def __init__(self, model: Classifier):
+        super().__init__()
+        self.model = model
+
+    def _detect(self, dataset: LabeledDataset) -> DetectionResult:
+        preds = self.model.predict(dataset.flat_x())
+        return self._result_from_noisy_mask(dataset, preds != dataset.y)

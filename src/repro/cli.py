@@ -1,0 +1,197 @@
+"""Command-line interface for the ENLD reproduction.
+
+Usage::
+
+    python -m repro list-figures
+    python -m repro run fig5 --scale bench
+    python -m repro run table2 --noise-rates 0.1 0.2
+    python -m repro demo --dataset toy
+
+``run`` executes one of the paper's figure/table drivers and prints the
+paper-style table; ``demo`` runs a minimal end-to-end detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .experiments import (bench_preset, fig3_contribution, fig6_networks,
+                          fig8_time_cost, fig9_training_process,
+                          fig10_policies, fig11_12_k_sweep,
+                          fig13a_missing_labels, fig13b_ambiguous_counts,
+                          fig14_ablation, full_preset, method_comparison,
+                          small_preset, table2_model_update)
+
+_FIGURES: Dict[str, str] = {
+    "fig3": "Contribution of sample-addition strategies (loss)",
+    "fig4": "Method comparison on the EMNIST analog",
+    "fig5": "Method comparison on the CIFAR100 analog",
+    "fig6": "ENLD vs Topofilter across architectures",
+    "fig7": "Method comparison on the Tiny-ImageNet analog",
+    "fig8": "Setup/process time per method per dataset",
+    "fig9": "Detection trajectory over iterations",
+    "fig10": "Sampling-policy comparison",
+    "fig11": "Hyperparameter k sweep (quality)",
+    "fig12": "Hyperparameter k sweep (time)",
+    "fig13a": "Missing-label handling",
+    "fig13b": "Ambiguous-set size per iteration",
+    "fig14": "Ablation study",
+    "table2": "Model update accuracy",
+}
+
+_SCALES = {"small": small_preset, "bench": bench_preset,
+           "full": full_preset}
+
+
+def _preset_for(figure: str, scale: str, noise_rates):
+    dataset = {"fig4": "emnist_like", "fig7": "tiny_imagenet_like"}.get(
+        figure, "cifar100_like")
+    preset = _SCALES[scale](dataset)
+    if noise_rates:
+        preset = preset.with_overrides(noise_rates=tuple(noise_rates))
+    return preset
+
+
+def _run_figure(figure: str, scale: str, noise_rates) -> dict:
+    preset = _preset_for(figure, scale, noise_rates)
+    drivers: Dict[str, Callable[[], dict]] = {
+        "fig3": lambda: fig3_contribution(preset),
+        "fig4": lambda: method_comparison(preset),
+        "fig5": lambda: method_comparison(preset),
+        "fig6": lambda: fig6_networks(preset),
+        "fig7": lambda: method_comparison(preset),
+        "fig8": lambda: fig8_time_cost(
+            [_preset_for(f, scale, noise_rates)
+             for f in ("fig4", "fig5", "fig7")]),
+        "fig9": lambda: fig9_training_process(preset),
+        "fig10": lambda: fig10_policies(preset),
+        "fig11": lambda: fig11_12_k_sweep(preset),
+        "fig12": lambda: fig11_12_k_sweep(preset),
+        "fig13a": lambda: fig13a_missing_labels(preset),
+        "fig13b": lambda: fig13b_ambiguous_counts(preset),
+        "fig14": lambda: fig14_ablation(preset),
+        "table2": lambda: table2_model_update(preset),
+    }
+    return drivers[figure]()
+
+
+def cmd_list_figures(_args) -> int:
+    """Print the reproducible figures/tables and their descriptions."""
+    width = max(len(k) for k in _FIGURES)
+    for key, desc in _FIGURES.items():
+        print(f"  {key.ljust(width)}  {desc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run one figure/table driver and print/store its JSON result."""
+    if args.figure not in _FIGURES:
+        print(f"unknown figure {args.figure!r}; see 'list-figures'",
+              file=sys.stderr)
+        return 2
+    result = _run_figure(args.figure, args.scale, args.noise_rates)
+    text = json.dumps(result, indent=2, default=float)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render EXPERIMENTS.md from recorded benchmark result JSONs."""
+    from .experiments.report_markdown import write_markdown
+
+    write_markdown(args.results, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """Run a minimal end-to-end detection on a chosen dataset preset."""
+    import numpy as np
+
+    from . import ArrivalStream, ENLD, ENLDConfig
+    from .datasets import (generate, get_preset, paper_shard_plan,
+                           split_inventory_incremental)
+    from .eval import score_detection
+    from .noise import corrupt_labels, pair_asymmetric
+
+    spec = get_preset(args.dataset) if args.dataset == "toy" \
+        else get_preset(args.dataset, scale="small")
+    data = generate(spec, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(spec.num_classes, args.noise_rate)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    arrivals = ArrivalStream(pool, paper_shard_plan(args.dataset),
+                             transition=transition,
+                             seed=args.seed + 2).arrivals()
+
+    config = ENLDConfig(model_name="tinyresnet", init_epochs=15,
+                        iterations=3, seed=args.seed)
+    enld = ENLD(config).initialize(inventory,
+                                   num_classes=spec.num_classes)
+    print(f"setup: {enld.setup_seconds:.1f}s on {len(inventory)} "
+          "inventory samples")
+    for arrival in arrivals[:args.max_arrivals]:
+        result = enld.detect(arrival)
+        score = score_detection(result, arrival)
+        print(f"{arrival.name}: f1={score.f1:.3f} "
+              f"precision={score.precision:.3f} "
+              f"recall={score.recall:.3f} "
+              f"({result.process_seconds:.2f}s)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ENLD (ICDE 2023) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list-figures",
+                            help="list reproducible figures/tables")
+    p_list.set_defaults(fn=cmd_list_figures)
+
+    p_run = sub.add_parser("run", help="run a figure/table driver")
+    p_run.add_argument("figure", help="e.g. fig5, table2")
+    p_run.add_argument("--scale", choices=sorted(_SCALES),
+                       default="bench")
+    p_run.add_argument("--noise-rates", type=float, nargs="*",
+                       default=None)
+    p_run.add_argument("--output", help="write JSON result here")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="render EXPERIMENTS.md from benchmark results")
+    p_report.add_argument("--results", default="benchmarks/results",
+                          help="directory of bench result JSON files")
+    p_report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p_report.set_defaults(fn=cmd_report)
+
+    p_demo = sub.add_parser("demo", help="minimal end-to-end detection")
+    p_demo.add_argument("--dataset", default="toy",
+                        choices=["toy", "emnist_like", "cifar100_like",
+                                 "tiny_imagenet_like"])
+    p_demo.add_argument("--noise-rate", type=float, default=0.2)
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument("--max-arrivals", type=int, default=3)
+    p_demo.set_defaults(fn=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""``repro.core`` — the ENLD framework (the paper's contribution)."""
+
+from .config import ENLDConfig
+from .contrastive import (ContrastiveSample, contrastive_sampling,
+                          expected_contrastive_distribution,
+                          label_distribution, prob_class_absent)
+from .detector import DetectionResult, FineGrainedDetector, IterationSnapshot
+from .enld import ENLD, NotInitializedError
+from .missing import (missing_label_report, missing_rows,
+                      pseudo_label_accuracy, pseudo_label_f1)
+from .policies import (ContrastivePolicy, EntropyPolicy,
+                       HighestConfidencePolicy, LeastConfidencePolicy,
+                       PolicySelection, PseudoLabelPolicy, RandomPolicy,
+                       SamplingPolicy, SamplingRequest, available_policies,
+                       build_policy)
+from .probability import (conditional_from_joint, estimate_conditional,
+                          estimate_joint_counts,
+                          sample_probable_true_labels)
+from .samplesets import (ModelView, ambiguous_mask, compute_view,
+                         high_quality_mask)
+from .scheduler import (AnyOf, CleanPoolGrowth, DetectionDegradation,
+                        EveryNArrivals, UpdateScheduler)
+from .update import UpdateResult, model_update
+
+__all__ = [
+    "ENLD", "ENLDConfig", "NotInitializedError",
+    "FineGrainedDetector", "DetectionResult", "IterationSnapshot",
+    "contrastive_sampling", "ContrastiveSample", "prob_class_absent",
+    "expected_contrastive_distribution", "label_distribution",
+    "estimate_joint_counts", "conditional_from_joint",
+    "estimate_conditional", "sample_probable_true_labels",
+    "ModelView", "compute_view", "ambiguous_mask", "high_quality_mask",
+    "SamplingPolicy", "SamplingRequest", "PolicySelection",
+    "ContrastivePolicy", "RandomPolicy", "HighestConfidencePolicy",
+    "LeastConfidencePolicy", "EntropyPolicy", "PseudoLabelPolicy",
+    "build_policy", "available_policies",
+    "model_update", "UpdateResult",
+    "UpdateScheduler", "EveryNArrivals", "CleanPoolGrowth",
+    "DetectionDegradation", "AnyOf",
+    "missing_rows", "pseudo_label_accuracy", "pseudo_label_f1",
+    "missing_label_report",
+]

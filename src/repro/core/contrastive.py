@@ -1,0 +1,138 @@
+"""Contrastive sampling (paper Algorithm 2 and §IV-D).
+
+For each ambiguous sample of the incremental dataset, draw a probable
+true label from the estimated conditional ``P̃`` (restricted to
+``label(H')``) and fetch its ``k`` nearest high-quality inventory
+samples in feature space.  Repeated selections act as implicit sample
+weights ("a re-weighting process", §IV-D), so the result is returned as
+an index multiset.
+
+Also provides the closed-form quantities of Corollary 1 (probability a
+class is absent from ``label(D)``) and Corollary 2 (expected label
+distribution of the contrastive set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..index.classindex import ClassFeatureIndex
+from .probability import sample_probable_true_labels
+
+
+@dataclass(frozen=True)
+class ContrastiveSample:
+    """Result of one contrastive-sampling pass.
+
+    Attributes
+    ----------
+    indices:
+        Candidate-set positions, *with multiplicity* (an index repeated
+        m times carries weight m in subsequent fine-tuning).
+    target_labels:
+        The probable-true-label drawn for each ambiguous sample
+        (aligned with the ambiguous set, not with ``indices``).
+    """
+
+    indices: np.ndarray
+    target_labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def unique_counts(self) -> tuple:
+        """Distinct indices and their multiplicities (the weights)."""
+        return np.unique(self.indices, return_counts=True)
+
+
+def contrastive_sampling(ambiguous_features: np.ndarray,
+                         ambiguous_labels: np.ndarray,
+                         index: ClassFeatureIndex,
+                         cond_prob: np.ndarray,
+                         k: int,
+                         rng: np.random.Generator,
+                         use_probability_label: bool = True
+                         ) -> ContrastiveSample:
+    """Algorithm 2: select ``k`` nearest high-quality contrastive samples
+    per ambiguous sample.
+
+    Parameters
+    ----------
+    ambiguous_features:
+        ``M̂(x, θ)`` of the ambiguous samples, shape ``(|A|, D)``.
+    ambiguous_labels:
+        Observed labels of the ambiguous samples, shape ``(|A|,)``.
+    index:
+        Per-class KD-tree index over the high-quality candidates ``H'``
+        (already restricted to ``label(D)``).
+    cond_prob:
+        Estimated ``P̃(y* = j | ỹ = i)``.
+    use_probability_label:
+        ``False`` reproduces the ENLD-4 ablation: query class ``j = i``
+        (the observed label) instead of sampling from ``P̃``.
+    """
+    ambiguous_features = np.asarray(ambiguous_features, dtype=np.float64)
+    ambiguous_labels = np.asarray(ambiguous_labels)
+    if len(ambiguous_features) != len(ambiguous_labels):
+        raise ValueError("features and labels of A must align")
+    if len(ambiguous_labels) == 0:
+        return ContrastiveSample(indices=np.empty(0, dtype=int),
+                                 target_labels=np.empty(0, dtype=int))
+    available = np.array(index.classes, dtype=int)
+    if available.size == 0:
+        return ContrastiveSample(indices=np.empty(0, dtype=int),
+                                 target_labels=ambiguous_labels.copy())
+
+    if use_probability_label:
+        targets = sample_probable_true_labels(
+            ambiguous_labels, cond_prob, available, rng)
+    else:
+        targets = ambiguous_labels.copy()
+
+    chosen: list = []
+    for feature, target in zip(ambiguous_features, targets):
+        _, idx = index.query(feature, int(target), k)
+        if idx.size == 0:
+            # ENLD-4 may target a class absent from H'; fall back to the
+            # nearest populated class so the ambiguous sample still gets
+            # contrastive supervision.
+            fallback = int(available[rng.integers(len(available))])
+            _, idx = index.query(feature, fallback, k)
+        chosen.extend(int(i) for i in idx)
+    return ContrastiveSample(indices=np.array(chosen, dtype=int),
+                             target_labels=targets)
+
+
+# ----------------------------------------------------------------------
+# Corollary helpers
+# ----------------------------------------------------------------------
+
+def prob_class_absent(per_class_keep_prob: float, class_count: int) -> float:
+    """Corollary 1: P(class m ∉ label(D)) = (1 - P(ỹ=m|y*=m))^{|D^m|}."""
+    if not 0.0 <= per_class_keep_prob <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if class_count < 0:
+        raise ValueError("class_count must be non-negative")
+    return float((1.0 - per_class_keep_prob) ** class_count)
+
+
+def expected_contrastive_distribution(ambiguous_label_dist: np.ndarray,
+                                      cond_prob: np.ndarray) -> np.ndarray:
+    """Corollary 2: E(L(C))_j = Σ_i L(A)_i · P̃(y* = j | ỹ = i)."""
+    dist = np.asarray(ambiguous_label_dist, dtype=np.float64)
+    if dist.ndim != 1 or dist.shape[0] != cond_prob.shape[0]:
+        raise ValueError("distribution and cond_prob sizes must match")
+    total = dist.sum()
+    if total <= 0:
+        raise ValueError("ambiguous label distribution is empty")
+    return (dist / total) @ cond_prob
+
+
+def label_distribution(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Normalised label histogram ``L(·)`` used by Corollary 2."""
+    counts = np.bincount(np.asarray(labels), minlength=num_classes)
+    total = counts.sum()
+    return counts / total if total else counts.astype(float)

@@ -1,0 +1,142 @@
+"""The ENLD framework (paper Algorithm 1).
+
+:class:`ENLD` owns the platform state — general model ``θ``, inventory
+halves ``I_t`` / ``I_c``, estimated conditional probability ``P̃`` and
+the running clean-inventory set ``S_c`` — and serves noisy-label
+detection requests for arriving incremental datasets.
+
+Typical usage::
+
+    from repro import ENLD, ENLDConfig
+
+    enld = ENLD(ENLDConfig(model_name="tinyresnet", iterations=5))
+    enld.initialize(inventory)          # Step 0: train θ, estimate P̃
+    for arrival in stream:              # Steps 1–2 per arrival
+        result = enld.detect(arrival)
+        print(result.num_noisy, "noisy samples flagged")
+    enld.update_model()                 # Optional step (Alg. 4)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.data import LabeledDataset, train_test_split
+from ..nn.models import Classifier, build_model
+from ..nn.train import fit
+from .config import ENLDConfig
+from .detector import DetectionResult, FineGrainedDetector
+from .probability import estimate_conditional
+from .update import model_update
+
+
+class NotInitializedError(RuntimeError):
+    """Raised when detection is requested before :meth:`ENLD.initialize`."""
+
+
+class ENLD:
+    """Efficient Noisy Label Detection for incremental datasets."""
+
+    def __init__(self, config: Optional[ENLDConfig] = None):
+        self.config = config or ENLDConfig()
+        self.model: Optional[Classifier] = None
+        self.cond_prob: Optional[np.ndarray] = None
+        self.inventory_train: Optional[LabeledDataset] = None      # I_t
+        self.inventory_candidates: Optional[LabeledDataset] = None  # I_c
+        self.num_classes: int = 0
+        self.setup_seconds: float = 0.0
+        self.setup_train_samples: int = 0
+        self.results: List[DetectionResult] = []
+        self._clean_candidate_positions: set = set()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._detector = FineGrainedDetector(self.config)
+
+    # ------------------------------------------------------------------
+    # Step 0: model initialisation & probability estimation (§IV-B)
+    # ------------------------------------------------------------------
+    def initialize(self, inventory: LabeledDataset,
+                   num_classes: Optional[int] = None) -> "ENLD":
+        """Split the inventory, train the general model, estimate ``P̃``.
+
+        Returns ``self`` for chaining.
+        """
+        start = time.perf_counter()
+        cfg = self.config
+        self.num_classes = num_classes or inventory.num_classes
+        candidates, train = train_test_split(
+            inventory, test_fraction=cfg.inventory_train_fraction,
+            rng=self._rng)
+        # train_test_split names the halves train/test; relabel to the
+        # paper's I_t / I_c.
+        self.inventory_train = LabeledDataset(
+            train.x, train.y, true_y=train.true_y, ids=train.ids,
+            name=f"{inventory.name}/I_t")
+        self.inventory_candidates = LabeledDataset(
+            candidates.x, candidates.y, true_y=candidates.true_y,
+            ids=candidates.ids, name=f"{inventory.name}/I_c")
+
+        self.model = build_model(cfg.model_name, inventory.feature_dim,
+                                 self.num_classes, rng=self._rng,
+                                 **cfg.model_kwargs)
+        report = fit(self.model, self.inventory_train,
+                     epochs=cfg.init_epochs, rng=self._rng,
+                     lr=cfg.init_lr, batch_size=cfg.init_batch_size,
+                     mixup_alpha=cfg.mixup_alpha)
+        self.setup_train_samples = report.samples_processed
+        self.cond_prob = estimate_conditional(
+            self.model, self.inventory_candidates,
+            num_classes=self.num_classes)
+        self.setup_seconds = time.perf_counter() - start
+        return self
+
+    # ------------------------------------------------------------------
+    # Steps 1–2: per-arrival detection (Alg. 1 lines 5–9)
+    # ------------------------------------------------------------------
+    def detect(self, dataset: LabeledDataset) -> DetectionResult:
+        """Detect noisy labels in an arriving incremental dataset."""
+        self._require_initialized()
+        start = time.perf_counter()
+        result = self._detector.detect(
+            self.model, dataset, self.inventory_candidates,
+            self.cond_prob, self._rng)
+        result.process_seconds = time.perf_counter() - start
+        self._clean_candidate_positions.update(
+            int(p) for p in result.inventory_clean_positions)
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Optional step: model update (Alg. 4)
+    # ------------------------------------------------------------------
+    @property
+    def clean_inventory(self) -> LabeledDataset:
+        """Accumulated ``S_c`` as a dataset (rows of ``I_c``)."""
+        self._require_initialized()
+        positions = np.array(sorted(self._clean_candidate_positions),
+                             dtype=int)
+        return self.inventory_candidates.subset(positions, name="S_c")
+
+    def update_model(self, epochs: Optional[int] = None) -> "ENLD":
+        """Refresh ``θ`` from the accumulated clean inventory set."""
+        self._require_initialized()
+        outcome = model_update(
+            self.model, self.clean_inventory,
+            self.inventory_train, self.inventory_candidates,
+            self.config, self._rng, epochs=epochs)
+        self.model = outcome.model
+        self.cond_prob = outcome.cond_prob
+        self.inventory_train = outcome.inventory_train
+        self.inventory_candidates = outcome.inventory_candidates
+        self.setup_train_samples += outcome.train_samples
+        # Clean-position bookkeeping referred to the old I_c; reset it.
+        self._clean_candidate_positions.clear()
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_initialized(self) -> None:
+        if self.model is None:
+            raise NotInitializedError(
+                "call ENLD.initialize(inventory) before detect()")

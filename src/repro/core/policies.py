@@ -1,0 +1,188 @@
+"""Sample-selection policies for fine-grained detection (paper §V-A5).
+
+ENLD's default policy is contrastive sampling (Alg. 2).  The paper's
+Fig. 10 study swaps it for active-learning-style alternatives with the
+same sampling budget ``k·|A|``:
+
+- ``random``   — uniform over the candidate pool;
+- ``highest_confidence`` — most confident candidates (HC-ENLD);
+- ``least_confidence``   — least confident candidates (LC-ENLD);
+- ``entropy``  — highest predictive entropy (Entropy-ENLD);
+- ``pseudo``   — most confident candidates with their observed labels
+  replaced by the model's pseudo labels (Pseudo-ENLD).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..index.classindex import ClassFeatureIndex
+from .contrastive import contrastive_sampling
+from .samplesets import ModelView
+
+
+@dataclass(frozen=True)
+class SamplingRequest:
+    """Everything a policy may look at when selecting samples.
+
+    The candidate pool is ``I'`` — inventory candidates restricted to
+    ``label(D)``.  Indices returned by policies refer to rows of this
+    pool.
+    """
+
+    candidate_view: ModelView
+    candidate_labels: np.ndarray
+    hq_index: ClassFeatureIndex
+    ambiguous_features: np.ndarray
+    ambiguous_labels: np.ndarray
+    cond_prob: np.ndarray
+    k: int
+    rng: np.random.Generator
+
+    @property
+    def budget(self) -> int:
+        """Common sampling budget ``k · |A|``."""
+        return self.k * max(len(self.ambiguous_labels), 1)
+
+
+@dataclass(frozen=True)
+class PolicySelection:
+    """Indices into the candidate pool plus optional label overrides."""
+
+    indices: np.ndarray
+    label_overrides: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if (self.label_overrides is not None
+                and len(self.label_overrides) != len(self.indices)):
+            raise ValueError("label_overrides must align with indices")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class SamplingPolicy(ABC):
+    """Strategy interface for contrastive-set selection."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, request: SamplingRequest) -> PolicySelection:
+        """Choose candidate-pool rows for the next fine-tuning round."""
+
+
+class ContrastivePolicy(SamplingPolicy):
+    """The paper's Algorithm 2 (default)."""
+
+    name = "contrastive"
+
+    def __init__(self, use_probability_label: bool = True):
+        self.use_probability_label = use_probability_label
+
+    def select(self, request: SamplingRequest) -> PolicySelection:
+        sample = contrastive_sampling(
+            request.ambiguous_features, request.ambiguous_labels,
+            request.hq_index, request.cond_prob, request.k, request.rng,
+            use_probability_label=self.use_probability_label)
+        return PolicySelection(indices=sample.indices)
+
+
+class RandomPolicy(SamplingPolicy):
+    """Uniform selection from the candidate pool (Random-ENLD)."""
+
+    name = "random"
+
+    def select(self, request: SamplingRequest) -> PolicySelection:
+        n = len(request.candidate_labels)
+        if n == 0:
+            return PolicySelection(indices=np.empty(0, dtype=int))
+        idx = request.rng.choice(n, size=min(request.budget, n),
+                                 replace=False)
+        return PolicySelection(indices=np.sort(idx))
+
+
+class _ScoreTopPolicy(SamplingPolicy):
+    """Pick the budget-many candidates maximising a per-sample score."""
+
+    def _scores(self, request: SamplingRequest) -> np.ndarray:
+        raise NotImplementedError
+
+    def select(self, request: SamplingRequest) -> PolicySelection:
+        n = len(request.candidate_labels)
+        if n == 0:
+            return PolicySelection(indices=np.empty(0, dtype=int))
+        scores = self._scores(request)
+        take = min(request.budget, n)
+        idx = np.argpartition(-scores, take - 1)[:take]
+        return PolicySelection(indices=np.sort(idx))
+
+
+class HighestConfidencePolicy(_ScoreTopPolicy):
+    """Most confident candidates (HC-ENLD)."""
+
+    name = "highest_confidence"
+
+    def _scores(self, request: SamplingRequest) -> np.ndarray:
+        return request.candidate_view.confidences
+
+
+class LeastConfidencePolicy(_ScoreTopPolicy):
+    """Least confident candidates (LC-ENLD)."""
+
+    name = "least_confidence"
+
+    def _scores(self, request: SamplingRequest) -> np.ndarray:
+        return -request.candidate_view.confidences
+
+
+class EntropyPolicy(_ScoreTopPolicy):
+    """Highest predictive entropy (Entropy-ENLD)."""
+
+    name = "entropy"
+
+    def _scores(self, request: SamplingRequest) -> np.ndarray:
+        p = np.clip(request.candidate_view.probs, 1e-12, 1.0)
+        return -(p * np.log(p)).sum(axis=1)
+
+
+class PseudoLabelPolicy(_ScoreTopPolicy):
+    """HC selection with observed labels replaced by pseudo labels."""
+
+    name = "pseudo"
+
+    def _scores(self, request: SamplingRequest) -> np.ndarray:
+        return request.candidate_view.confidences
+
+    def select(self, request: SamplingRequest) -> PolicySelection:
+        base = super().select(request)
+        pseudo = request.candidate_view.predictions[base.indices]
+        return PolicySelection(indices=base.indices, label_overrides=pseudo)
+
+
+_POLICIES: Dict[str, Callable[[], SamplingPolicy]] = {
+    "contrastive": ContrastivePolicy,
+    "random": RandomPolicy,
+    "highest_confidence": HighestConfidencePolicy,
+    "least_confidence": LeastConfidencePolicy,
+    "entropy": EntropyPolicy,
+    "pseudo": PseudoLabelPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Names of all registered sampling policies."""
+    return sorted(_POLICIES)
+
+
+def build_policy(name: str, **kwargs) -> SamplingPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; "
+                       f"available: {available_policies()}")
+    return factory(**kwargs)

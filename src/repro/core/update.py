@@ -1,0 +1,80 @@
+"""Model update (paper Algorithm 4, §IV-F).
+
+After several detection tasks have accumulated clean inventory samples
+``S_c``, the platform can refresh its general model: train ``θ^u`` on
+``S_c``, swap the roles of ``I_t`` and ``I_c``, and re-estimate the
+conditional mislabel probability on the new candidate half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..nn.data import LabeledDataset
+from ..nn.models import Classifier
+from ..nn.serialize import clone_module
+from ..nn.train import fit
+from .config import ENLDConfig
+from .probability import estimate_conditional
+
+
+@dataclass
+class UpdateResult:
+    """Everything produced by one model-update pass."""
+
+    model: Classifier
+    cond_prob: np.ndarray
+    inventory_train: LabeledDataset   # new I_t (old I_c)
+    inventory_candidates: LabeledDataset  # new I_c (old I_t)
+    train_samples: int
+
+
+def model_update(model: Classifier, clean_inventory: LabeledDataset,
+                 inventory_train: LabeledDataset,
+                 inventory_candidates: LabeledDataset,
+                 config: ENLDConfig, rng: np.random.Generator,
+                 epochs: int | None = None,
+                 lr: float | None = None) -> UpdateResult:
+    """Run Algorithm 4.
+
+    Parameters
+    ----------
+    clean_inventory:
+        The accumulated ``S_c`` — inventory samples voted clean by the
+        stringent criterion across detection tasks.
+    epochs:
+        Training epochs for the update; defaults to half the init
+        budget (the update is a refinement, not a from-scratch train).
+    lr:
+        Learning rate for the update; defaults to the fine-tuning rate.
+        ``S_c`` typically covers only the classes seen in processed
+        arrivals, so the update must refine θ gently rather than
+        retrain it — a large rate causes catastrophic forgetting of
+        classes absent from ``S_c``.
+
+    Returns
+    -------
+    UpdateResult
+        With ``inventory_train``/``inventory_candidates`` swapped per
+        Alg. 4 line 2 and ``cond_prob`` re-estimated on the new
+        candidates (Alg. 4 line 3).
+    """
+    if len(clean_inventory) == 0:
+        raise ValueError("model update requires a non-empty clean set S_c")
+    epochs = epochs if epochs is not None else max(config.init_epochs // 2, 1)
+    lr = lr if lr is not None else config.finetune_lr
+    updated = clone_module(model)
+    report = fit(updated, clean_inventory, epochs=epochs, rng=rng,
+                 lr=lr, batch_size=config.init_batch_size,
+                 mixup_alpha=config.mixup_alpha)
+    # swap(I_t, I_c): the old training half becomes the candidate pool.
+    new_train, new_candidates = inventory_candidates, inventory_train
+    cond = estimate_conditional(updated, new_candidates,
+                                num_classes=model.num_classes)
+    return UpdateResult(model=updated, cond_prob=cond,
+                        inventory_train=new_train,
+                        inventory_candidates=new_candidates,
+                        train_samples=report.samples_processed)

@@ -1,0 +1,10 @@
+"""``repro.datalake`` — platform-side catalog and arrival simulation."""
+
+from .catalog import DataLakeCatalog, DetectionRecord
+from .persistence import catalog_state, load_catalog_state, save_catalog
+from .platform import NoisyLabelPlatform, SubmissionReport
+from .stream import ArrivalStream
+
+__all__ = ["DataLakeCatalog", "DetectionRecord", "ArrivalStream",
+           "NoisyLabelPlatform", "SubmissionReport",
+           "save_catalog", "load_catalog_state", "catalog_state"]

@@ -1,0 +1,120 @@
+"""Data-lake catalog: the platform-side bookkeeping substrate.
+
+The paper's deployment target is a data lake / data platform that holds
+a large inventory and continuously receives incremental datasets with
+noisy-label-detection requests (§I, §IV-A).  :class:`DataLakeCatalog`
+models that platform state:
+
+- the inventory dataset and its ``I_t`` / ``I_c`` halves;
+- a registry of arrived incremental datasets;
+- per-dataset detection results (clean/noisy sample ids);
+- accumulated clean inventory ids ``S_c`` feeding the model update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.data import LabeledDataset
+
+
+@dataclass
+class DetectionRecord:
+    """Outcome of one noisy-label-detection request."""
+
+    dataset_name: str
+    clean_ids: np.ndarray
+    noisy_ids: np.ndarray
+    process_seconds: float = 0.0
+    detector: str = "enld"
+
+    @property
+    def total(self) -> int:
+        return len(self.clean_ids) + len(self.noisy_ids)
+
+    @property
+    def detected_noise_fraction(self) -> float:
+        return len(self.noisy_ids) / self.total if self.total else 0.0
+
+
+class DataLakeCatalog:
+    """Mutable platform state for incremental noisy-label detection."""
+
+    def __init__(self, inventory: LabeledDataset):
+        self.inventory = inventory
+        self._arrivals: Dict[str, LabeledDataset] = {}
+        self._records: Dict[str, DetectionRecord] = {}
+        self._clean_inventory_ids: set = set()
+
+    # -- arrivals -----------------------------------------------------------
+    def register_arrival(self, dataset: LabeledDataset) -> str:
+        """Register an incremental dataset; names must be unique."""
+        if dataset.name in self._arrivals:
+            raise KeyError(f"dataset {dataset.name!r} already registered")
+        self._arrivals[dataset.name] = dataset
+        return dataset.name
+
+    def get_arrival(self, name: str) -> LabeledDataset:
+        try:
+            return self._arrivals[name]
+        except KeyError:
+            raise KeyError(f"no arrival named {name!r}; "
+                           f"known: {sorted(self._arrivals)}")
+
+    @property
+    def arrival_names(self) -> List[str]:
+        return list(self._arrivals)
+
+    # -- detection results ---------------------------------------------------
+    def record_detection(self, record: DetectionRecord) -> None:
+        if record.dataset_name not in self._arrivals:
+            raise KeyError(
+                f"cannot record detection for unknown dataset "
+                f"{record.dataset_name!r}")
+        self._records[record.dataset_name] = record
+
+    def get_detection(self, name: str) -> DetectionRecord:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise KeyError(f"no detection recorded for {name!r}")
+
+    @property
+    def processed_names(self) -> List[str]:
+        return list(self._records)
+
+    # -- inventory clean-sample accumulation ---------------------------------
+    def add_clean_inventory_ids(self, ids: np.ndarray) -> None:
+        """Union new clean inventory ids ``S_c'`` into the running set."""
+        self._clean_inventory_ids.update(int(i) for i in np.asarray(ids))
+
+    @property
+    def clean_inventory_ids(self) -> np.ndarray:
+        return np.array(sorted(self._clean_inventory_ids), dtype=np.int64)
+
+    def clean_inventory_subset(self) -> LabeledDataset:
+        """The inventory rows currently believed clean (by id)."""
+        wanted = self._clean_inventory_ids
+        mask = np.fromiter((int(i) in wanted for i in self.inventory.ids),
+                           dtype=bool, count=len(self.inventory))
+        return self.inventory.mask(mask, name=f"{self.inventory.name}/clean")
+
+    # -- reporting ------------------------------------------------------------
+    def quality_report(self) -> Dict[str, float]:
+        """Aggregate detection statistics across processed arrivals."""
+        if not self._records:
+            return {"datasets_processed": 0, "samples_screened": 0,
+                    "flagged_fraction": 0.0, "mean_process_seconds": 0.0}
+        totals = [r.total for r in self._records.values()]
+        flagged = [len(r.noisy_ids) for r in self._records.values()]
+        times = [r.process_seconds for r in self._records.values()]
+        screened = int(sum(totals))
+        return {
+            "datasets_processed": len(self._records),
+            "samples_screened": screened,
+            "flagged_fraction": (sum(flagged) / screened) if screened else 0.0,
+            "mean_process_seconds": float(np.mean(times)),
+        }

@@ -1,0 +1,83 @@
+"""Catalog persistence: survive platform restarts.
+
+A real data platform runs for months; detection bookkeeping must
+outlive the process.  These helpers serialise the mutable state of a
+:class:`~repro.datalake.catalog.DataLakeCatalog` — detection records
+and the accumulated clean-inventory ids — to JSON.  Dataset payloads
+(the arrays) are *not* serialised; they live in the lake itself and are
+re-registered on restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import numpy as np
+
+from .catalog import DataLakeCatalog, DetectionRecord
+
+_FORMAT_VERSION = 1
+
+
+def catalog_state(catalog: DataLakeCatalog) -> Dict:
+    """Extract the serialisable state of a catalog."""
+    records = []
+    for name in catalog.processed_names:
+        record = catalog.get_detection(name)
+        records.append({
+            "dataset_name": record.dataset_name,
+            "clean_ids": [int(i) for i in record.clean_ids],
+            "noisy_ids": [int(i) for i in record.noisy_ids],
+            "process_seconds": record.process_seconds,
+            "detector": record.detector,
+        })
+    return {
+        "version": _FORMAT_VERSION,
+        "records": records,
+        "clean_inventory_ids": [int(i) for i in
+                                catalog.clean_inventory_ids],
+    }
+
+
+def save_catalog(catalog: DataLakeCatalog, path: str) -> None:
+    """Write the catalog's detection state to ``path`` (JSON)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(catalog_state(catalog), fh, indent=2)
+
+
+def load_catalog_state(catalog: DataLakeCatalog, path: str,
+                       strict: bool = True) -> int:
+    """Restore detection records into ``catalog`` from ``path``.
+
+    Arrivals referenced by stored records must already be registered
+    (they come from the lake); with ``strict=False`` unknown datasets
+    are skipped instead of raising.  Returns the number of records
+    restored.
+    """
+    with open(path) as fh:
+        state = json.load(fh)
+    if state.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported catalog state version {state.get('version')!r}")
+    restored = 0
+    for item in state["records"]:
+        record = DetectionRecord(
+            dataset_name=item["dataset_name"],
+            clean_ids=np.asarray(item["clean_ids"], dtype=np.int64),
+            noisy_ids=np.asarray(item["noisy_ids"], dtype=np.int64),
+            process_seconds=item["process_seconds"],
+            detector=item.get("detector", "enld"),
+        )
+        try:
+            catalog.record_detection(record)
+            restored += 1
+        except KeyError:
+            if strict:
+                raise
+    catalog.add_clean_inventory_ids(
+        np.asarray(state["clean_inventory_ids"], dtype=np.int64))
+    return restored

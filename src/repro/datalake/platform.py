@@ -1,0 +1,143 @@
+"""The platform facade: ENLD + catalog + update scheduling in one object.
+
+``NoisyLabelPlatform`` is the deployment-shaped API of this library —
+the concrete realisation of the paper's Fig. 1: a data lake holding
+inventory data, serving continuous noisy-label-detection requests, with
+optional automated general-model refreshes.
+
+Typical usage::
+
+    from repro.datalake import NoisyLabelPlatform
+    from repro.core import ENLDConfig, CleanPoolGrowth
+
+    platform = NoisyLabelPlatform(
+        inventory,
+        config=ENLDConfig(model_name="tinyresnet"),
+        scheduler=CleanPoolGrowth(min_clean_samples=500),
+    )
+    for dataset in stream:
+        report = platform.submit(dataset)
+        print(report.record.detected_noise_fraction, report.updated_model)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import ENLDConfig
+from ..core.detector import DetectionResult
+from ..core.enld import ENLD
+from ..core.scheduler import UpdateScheduler
+from ..nn.data import LabeledDataset
+from .catalog import DataLakeCatalog, DetectionRecord
+
+
+@dataclass
+class SubmissionReport:
+    """Everything the platform learned from one submitted dataset."""
+
+    result: DetectionResult
+    record: DetectionRecord
+    updated_model: bool
+
+
+class NoisyLabelPlatform:
+    """End-to-end noisy-label screening service over a data lake.
+
+    Parameters
+    ----------
+    inventory:
+        The (possibly noisy) inventory dataset ``I``.
+    config:
+        ENLD configuration; defaults follow the paper.
+    scheduler:
+        Optional :class:`UpdateScheduler`; when provided and it fires
+        (and clean inventory samples exist), the Alg. 4 model update
+        runs automatically after the triggering submission.
+    num_classes:
+        Override when the inventory does not contain every class.
+    """
+
+    def __init__(self, inventory: LabeledDataset,
+                 config: Optional[ENLDConfig] = None,
+                 scheduler: Optional[UpdateScheduler] = None,
+                 num_classes: Optional[int] = None):
+        self.catalog = DataLakeCatalog(inventory)
+        self.enld = ENLD(config)
+        self.scheduler = scheduler
+        self.enld.initialize(inventory, num_classes=num_classes)
+        self.model_updates: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def setup_seconds(self) -> float:
+        """Wall-clock spent initialising the general model."""
+        return self.enld.setup_seconds
+
+    def submit(self, dataset: LabeledDataset) -> SubmissionReport:
+        """Serve one noisy-label-detection request end-to-end.
+
+        Registers the arrival, runs detection, records the outcome,
+        accumulates clean inventory ids, and (if a scheduler is set)
+        triggers the model update when due.
+        """
+        self.catalog.register_arrival(dataset)
+        result = self.enld.detect(dataset)
+        record = DetectionRecord(
+            dataset_name=dataset.name,
+            clean_ids=dataset.ids[result.clean_mask],
+            noisy_ids=dataset.ids[result.noisy_mask],
+            process_seconds=result.process_seconds,
+            detector=result.detector_name,
+        )
+        self.catalog.record_detection(record)
+        self.catalog.add_clean_inventory_ids(
+            self.enld.inventory_candidates.ids[
+                result.inventory_clean_positions])
+
+        updated = False
+        if self.scheduler is not None:
+            self.scheduler.observe(result)
+            if (self.scheduler.should_update()
+                    and len(self.enld.clean_inventory)):
+                self.update_model()
+                self.scheduler.notify_updated()
+                updated = True
+        return SubmissionReport(result=result, record=record,
+                                updated_model=updated)
+
+    def update_model(self, epochs: Optional[int] = None) -> None:
+        """Run the Alg. 4 model update now (also counts it)."""
+        self.enld.update_model(epochs=epochs)
+        self.model_updates += 1
+
+    # ------------------------------------------------------------------
+    def clean_subset(self, dataset_name: str) -> LabeledDataset:
+        """The voted-clean rows of a processed arrival, by id."""
+        dataset = self.catalog.get_arrival(dataset_name)
+        record = self.catalog.get_detection(dataset_name)
+        wanted = set(int(i) for i in record.clean_ids)
+        mask = np.fromiter((int(i) in wanted for i in dataset.ids),
+                           dtype=bool, count=len(dataset))
+        return dataset.mask(mask, name=f"{dataset_name}/clean")
+
+    def noisy_subset(self, dataset_name: str) -> LabeledDataset:
+        """The flagged-noisy rows of a processed arrival, by id."""
+        dataset = self.catalog.get_arrival(dataset_name)
+        record = self.catalog.get_detection(dataset_name)
+        wanted = set(int(i) for i in record.noisy_ids)
+        mask = np.fromiter((int(i) in wanted for i in dataset.ids),
+                           dtype=bool, count=len(dataset))
+        return dataset.mask(mask, name=f"{dataset_name}/noisy")
+
+    def quality_report(self) -> dict:
+        """Aggregate screening statistics plus platform counters."""
+        report = self.catalog.quality_report()
+        report["model_updates"] = self.model_updates
+        report["setup_seconds"] = self.setup_seconds
+        report["clean_inventory_size"] = len(self.catalog.clean_inventory_ids)
+        return report

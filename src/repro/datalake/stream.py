@@ -1,0 +1,76 @@
+"""Simulation of continuously arriving incremental datasets.
+
+:class:`ArrivalStream` turns a clean data pool into the paper's arrival
+process: shard the pool into unbalanced incremental datasets
+(§V-A1), corrupt each shard's labels through a transition matrix
+(§V-A2), and hand them out one at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..datasets.splits import ShardPlan, make_incremental_shards
+from ..nn.data import LabeledDataset
+from ..noise.injector import corrupt_labels, drop_labels
+from ..noise.transition import validate_transition
+
+
+class ArrivalStream:
+    """Deterministic stream of noisy incremental datasets.
+
+    Parameters
+    ----------
+    pool:
+        Clean incremental pool ``D`` (with ground-truth labels).
+    plan:
+        Sharding plan (how many arrivals, classes per arrival).
+    transition:
+        Label-noise transition matrix applied independently per shard.
+        ``None`` leaves shards clean.
+    missing_fraction:
+        Optional fraction of labels to drop per shard (paper §V-H).
+    seed:
+        Seeds sharding and corruption; the same seed replays the same
+        stream.
+    """
+
+    def __init__(self, pool: LabeledDataset, plan: ShardPlan,
+                 transition: Optional[np.ndarray] = None,
+                 missing_fraction: float = 0.0,
+                 num_classes: Optional[int] = None,
+                 seed: int = 0):
+        if transition is not None:
+            transition = validate_transition(transition)
+        self.pool = pool
+        self.plan = plan
+        self.transition = transition
+        self.missing_fraction = missing_fraction
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._shards = make_incremental_shards(pool, plan, rng,
+                                               num_classes=num_classes)
+        self._noise_rng = np.random.default_rng(seed + 1)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __iter__(self) -> Iterator[LabeledDataset]:
+        for shard in self._shards:
+            yield self._corrupt(shard)
+
+    def arrivals(self) -> List[LabeledDataset]:
+        """All arrivals materialised in order."""
+        return list(iter(self))
+
+    def _corrupt(self, shard: LabeledDataset) -> LabeledDataset:
+        out = shard
+        if self.transition is not None:
+            out = corrupt_labels(out, self.transition, self._noise_rng,
+                                 name=shard.name)
+        if self.missing_fraction > 0:
+            out, _ = drop_labels(out, self.missing_fraction,
+                                 self._noise_rng, name=out.name)
+        return out

@@ -1,0 +1,119 @@
+"""Dataset IO: bring your own data, persist generated data.
+
+Adopters screening real lake data need to get it into
+:class:`~repro.nn.data.LabeledDataset` form and back out.  Three
+formats are supported without extra dependencies:
+
+- ``from_arrays`` — zero-copy wrapper over in-memory numpy arrays;
+- ``.npz`` — lossless save/load including hidden true labels and ids;
+- ``.csv`` — interchange with spreadsheet/SQL exports (one feature per
+  column, a ``label`` column, optional ``true_label`` / ``id`` columns).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn.data import LabeledDataset
+
+_NPZ_VERSION = 1
+
+
+def from_arrays(x: np.ndarray, y: np.ndarray,
+                true_y: Optional[np.ndarray] = None,
+                ids: Optional[np.ndarray] = None,
+                name: str = "dataset") -> LabeledDataset:
+    """Wrap in-memory arrays as a :class:`LabeledDataset` (validated)."""
+    return LabeledDataset(np.asarray(x), np.asarray(y),
+                          true_y=None if true_y is None
+                          else np.asarray(true_y),
+                          ids=None if ids is None else np.asarray(ids),
+                          name=name)
+
+
+def save_npz(dataset: LabeledDataset, path: str) -> None:
+    """Persist a dataset losslessly to an ``.npz`` archive."""
+    payload = {
+        "__version__": np.array([_NPZ_VERSION]),
+        "x": dataset.x,
+        "y": dataset.y,
+        "ids": dataset.ids,
+        "name": np.array([dataset.name]),
+    }
+    if dataset.true_y is not None:
+        payload["true_y"] = dataset.true_y
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str) -> LabeledDataset:
+    """Load a dataset saved by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "__version__" not in archive.files:
+            raise ValueError(f"{path} is not a repro dataset archive")
+        return LabeledDataset(
+            x=archive["x"],
+            y=archive["y"],
+            true_y=archive["true_y"] if "true_y" in archive.files else None,
+            ids=archive["ids"],
+            name=str(archive["name"][0]),
+        )
+
+
+def save_csv(dataset: LabeledDataset, path: str) -> None:
+    """Write a dataset as CSV (features flattened to ``f0..fN``)."""
+    x = dataset.flat_x()
+    headers = [f"f{i}" for i in range(x.shape[1])] + ["label", "id"]
+    if dataset.true_y is not None:
+        headers.append("true_label")
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for i in range(len(dataset)):
+            row = list(x[i]) + [int(dataset.y[i]), int(dataset.ids[i])]
+            if dataset.true_y is not None:
+                row.append(int(dataset.true_y[i]))
+            writer.writerow(row)
+
+
+def load_csv(path: str, name: Optional[str] = None) -> LabeledDataset:
+    """Load a CSV written by :func:`save_csv` (or shaped like it).
+
+    Requires ``f*`` feature columns and a ``label`` column; ``id`` and
+    ``true_label`` columns are optional.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        headers = next(reader)
+        rows = list(reader)
+    if "label" not in headers:
+        raise ValueError(f"{path} has no 'label' column")
+    feature_cols = [i for i, h in enumerate(headers) if h.startswith("f")
+                    and h[1:].isdigit()]
+    if not feature_cols:
+        raise ValueError(f"{path} has no feature columns (f0, f1, ...)")
+    label_col = headers.index("label")
+    id_col = headers.index("id") if "id" in headers else None
+    true_col = headers.index("true_label") if "true_label" in headers \
+        else None
+
+    n = len(rows)
+    x = np.empty((n, len(feature_cols)))
+    y = np.empty(n, dtype=np.int64)
+    ids = np.empty(n, dtype=np.int64) if id_col is not None else None
+    true_y = np.empty(n, dtype=np.int64) if true_col is not None else None
+    for r, row in enumerate(rows):
+        for c, col in enumerate(feature_cols):
+            x[r, c] = float(row[col])
+        y[r] = int(row[label_col])
+        if ids is not None:
+            ids[r] = int(row[id_col])
+        if true_y is not None:
+            true_y[r] = int(row[true_col])
+    return LabeledDataset(x, y, true_y=true_y, ids=ids,
+                          name=name or os.path.basename(path))

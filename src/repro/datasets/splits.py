@@ -1,0 +1,144 @@
+"""Inventory / incremental data splits (paper §V-A1).
+
+The paper randomly divides each dataset into inventory data ``I`` and an
+incremental pool ``D`` at ratio 2:1, then shards ``D`` into unbalanced
+incremental datasets covering a subset of classes each:
+
+- EMNIST: 10 shards with 5–6 categories;
+- CIFAR100: 20 shards with 10 categories;
+- Tiny-ImageNet: 20 shards with 20 categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.data import LabeledDataset
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How to shard the incremental pool into arriving datasets."""
+
+    num_shards: int
+    classes_per_shard: int
+    dirichlet_alpha: float = 0.6  # < 1 → unbalanced within-shard classes
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if self.classes_per_shard < 1:
+            raise ValueError("classes_per_shard must be positive")
+        if self.dirichlet_alpha <= 0:
+            raise ValueError("dirichlet_alpha must be positive")
+
+
+def split_inventory_incremental(
+        dataset: LabeledDataset, rng: np.random.Generator,
+        inventory_fraction: float = 2.0 / 3.0
+) -> Tuple[LabeledDataset, LabeledDataset]:
+    """Random 2:1 split into inventory ``I`` and incremental pool ``D``."""
+    if not 0.0 < inventory_fraction < 1.0:
+        raise ValueError("inventory_fraction must be in (0, 1)")
+    n = len(dataset)
+    order = rng.permutation(n)
+    cut = int(round(n * inventory_fraction))
+    inv = dataset.subset(order[:cut], name=f"{dataset.name}/inventory")
+    inc = dataset.subset(order[cut:], name=f"{dataset.name}/incremental")
+    return inv, inc
+
+
+def _assign_shard_classes(num_classes: int, plan: ShardPlan,
+                          rng: np.random.Generator) -> List[np.ndarray]:
+    """Pick the class subset of each shard.
+
+    Every class is guaranteed to appear in at least one shard (so no
+    incremental sample is orphaned); remaining slots are filled at
+    random without within-shard repetition.
+    """
+    capacity = plan.num_shards * plan.classes_per_shard
+    if capacity < num_classes:
+        raise ValueError(
+            f"{plan.num_shards} shards x {plan.classes_per_shard} classes "
+            f"cannot cover {num_classes} classes")
+    shard_classes: List[set] = [set() for _ in range(plan.num_shards)]
+    # Round-robin the full class list over shards for coverage.
+    perm = rng.permutation(num_classes)
+    for i, cls in enumerate(perm):
+        shard_classes[i % plan.num_shards].add(int(cls))
+    # Fill the remaining slots randomly.
+    for shard in shard_classes:
+        pool = [c for c in range(num_classes) if c not in shard]
+        need = plan.classes_per_shard - len(shard)
+        if need > 0:
+            extra = rng.choice(len(pool), size=min(need, len(pool)),
+                               replace=False)
+            shard.update(pool[e] for e in extra)
+    return [np.array(sorted(s)) for s in shard_classes]
+
+
+def make_incremental_shards(pool: LabeledDataset, plan: ShardPlan,
+                            rng: np.random.Generator,
+                            num_classes: Optional[int] = None
+                            ) -> List[LabeledDataset]:
+    """Shard the incremental pool into unbalanced arriving datasets.
+
+    Each shard receives a subset of classes; within a class, samples are
+    divided among the shards holding that class with Dirichlet-weighted
+    (hence unbalanced) proportions.  Shard labels refer to *observed*
+    labels so the procedure works on already-noisy pools as well.
+    """
+    n_classes = num_classes or int(pool.y.max()) + 1
+    shard_classes = _assign_shard_classes(n_classes, plan, rng)
+    shard_indices: List[list] = [[] for _ in range(plan.num_shards)]
+
+    holders: List[List[int]] = [[] for _ in range(n_classes)]
+    for shard_id, classes in enumerate(shard_classes):
+        for cls in classes:
+            holders[cls].append(shard_id)
+
+    for cls in range(n_classes):
+        cls_idx = np.nonzero(pool.y == cls)[0]
+        if len(cls_idx) == 0:
+            continue
+        cls_idx = rng.permutation(cls_idx)
+        owners = holders[cls]
+        if not owners:
+            raise AssertionError(f"class {cls} not covered by any shard")
+        if len(owners) == 1:
+            shard_indices[owners[0]].extend(cls_idx.tolist())
+            continue
+        weights = rng.dirichlet(np.full(len(owners), plan.dirichlet_alpha))
+        counts = np.floor(weights * len(cls_idx)).astype(int)
+        remainder = len(cls_idx) - counts.sum()
+        for j in rng.choice(len(owners), size=remainder, replace=True):
+            counts[j] += 1
+        start = 0
+        for owner, count in zip(owners, counts):
+            shard_indices[owner].extend(cls_idx[start:start + count].tolist())
+            start += count
+
+    shards = []
+    for shard_id, idx in enumerate(shard_indices):
+        idx_arr = np.array(sorted(idx), dtype=int)
+        shards.append(pool.subset(
+            idx_arr, name=f"{pool.name}/shard{shard_id:02d}"))
+    return shards
+
+
+def paper_shard_plan(dataset_preset: str) -> ShardPlan:
+    """The paper's shard plan for each benchmark (§V-A1)."""
+    plans = {
+        "emnist_like": ShardPlan(num_shards=10, classes_per_shard=6),
+        "cifar100_like": ShardPlan(num_shards=20, classes_per_shard=10),
+        "tiny_imagenet_like": ShardPlan(num_shards=20, classes_per_shard=20),
+        "toy": ShardPlan(num_shards=3, classes_per_shard=3),
+    }
+    try:
+        return plans[dataset_preset]
+    except KeyError:
+        raise KeyError(f"no shard plan for preset {dataset_preset!r}; "
+                       f"available: {sorted(plans)}")

@@ -1,0 +1,66 @@
+"""Export experiment results to CSV / JSON.
+
+Downstream users typically feed detection reports into dashboards or
+spreadsheets; these helpers serialise :class:`MethodReport` collections
+without extra dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Iterable
+
+from .runner import MethodReport
+
+_SHARD_FIELDS = ("method", "shard", "precision", "recall", "f1",
+                 "detected_noisy", "true_noisy", "total",
+                 "process_seconds", "train_samples")
+
+
+def report_rows(reports: Dict[str, MethodReport]) -> Iterable[dict]:
+    """Flatten per-shard outcomes of several reports into dict rows."""
+    for name, report in reports.items():
+        for outcome in report.outcomes:
+            yield {
+                "method": name,
+                "shard": outcome.shard_name,
+                "precision": outcome.score.precision,
+                "recall": outcome.score.recall,
+                "f1": outcome.score.f1,
+                "detected_noisy": outcome.score.detected_noisy,
+                "true_noisy": outcome.score.true_noisy,
+                "total": outcome.score.total,
+                "process_seconds": outcome.process_seconds,
+                "train_samples": outcome.train_samples,
+            }
+
+
+def write_csv(reports: Dict[str, MethodReport], path: str) -> int:
+    """Write per-shard rows as CSV; returns the number of rows."""
+    rows = list(report_rows(reports))
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_SHARD_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def write_json(reports: Dict[str, MethodReport], path: str) -> None:
+    """Write method summaries + per-shard rows as a JSON document."""
+    payload = {
+        "summaries": {name: report.summary()
+                      for name, report in reports.items()},
+        "shards": list(report_rows(reports)),
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+
+
+def load_json(path: str) -> dict:
+    """Load a document produced by :func:`write_json`."""
+    with open(path) as fh:
+        return json.load(fh)

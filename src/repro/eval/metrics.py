@@ -1,0 +1,87 @@
+"""Noise-detection metrics (paper §V-A3).
+
+The paper scores the *detected noisy set* ``D̃_N`` against the
+ground-truth noisy set ``D_N``:
+
+- precision ``P = |D_N ∩ D̃_N| / |D̃_N|``
+- recall    ``R = |D_N ∩ D̃_N| / |D_N|``
+- f1        ``F1 = 2PR / (P + R)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.detector import DetectionResult
+from ..nn.data import LabeledDataset
+from ..noise.injector import MISSING_LABEL
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Precision/recall/F1 of one detection run."""
+
+    precision: float
+    recall: float
+    f1: float
+    detected_noisy: int
+    true_noisy: int
+    total: int
+
+    def as_dict(self) -> dict:
+        return {
+            "precision": self.precision, "recall": self.recall,
+            "f1": self.f1, "detected_noisy": self.detected_noisy,
+            "true_noisy": self.true_noisy, "total": self.total,
+        }
+
+
+def score_masks(detected_noisy: np.ndarray,
+                true_noisy: np.ndarray) -> DetectionScore:
+    """Score a detected-noisy mask against the ground-truth mask."""
+    detected_noisy = np.asarray(detected_noisy, dtype=bool)
+    true_noisy = np.asarray(true_noisy, dtype=bool)
+    if detected_noisy.shape != true_noisy.shape:
+        raise ValueError("masks must have identical shapes")
+    hit = int((detected_noisy & true_noisy).sum())
+    n_det = int(detected_noisy.sum())
+    n_true = int(true_noisy.sum())
+    precision = hit / n_det if n_det else 0.0
+    recall = hit / n_true if n_true else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return DetectionScore(precision=precision, recall=recall, f1=f1,
+                          detected_noisy=n_det, true_noisy=n_true,
+                          total=detected_noisy.size)
+
+
+def true_noise_mask(dataset: LabeledDataset) -> np.ndarray:
+    """Ground-truth noisy mask over labelled rows."""
+    if dataset.true_y is None:
+        raise ValueError(f"dataset {dataset.name!r} has no ground truth")
+    labeled = dataset.y != MISSING_LABEL
+    return (dataset.y != dataset.true_y) & labeled
+
+
+def score_detection(result: DetectionResult,
+                    dataset: LabeledDataset) -> DetectionScore:
+    """Score a :class:`DetectionResult` against the dataset's ground truth."""
+    return score_masks(result.noisy_mask, true_noise_mask(dataset))
+
+
+def score_trace(result: DetectionResult,
+                dataset: LabeledDataset) -> List[DetectionScore]:
+    """Per-iteration scores from a detector trace (Fig. 9).
+
+    At iteration ``i`` the noisy set is ``labelled \\ clean_so_far``.
+    """
+    truth = true_noise_mask(dataset)
+    labeled = dataset.y != MISSING_LABEL
+    scores = []
+    for snap in result.trace:
+        noisy = labeled & ~snap.clean_mask
+        scores.append(score_masks(noisy, truth))
+    return scores

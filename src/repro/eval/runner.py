@@ -1,0 +1,117 @@
+"""Experiment runner: evaluate detectors over streams of arrivals.
+
+Mirrors the paper's protocol: every method sees the same sequence of
+noisy incremental datasets; per-shard precision/recall/F1 and process
+times are collected and averaged (the numbers behind Figs. 4–8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Protocol
+
+import numpy as np
+
+from ..core.detector import DetectionResult
+from ..nn.data import LabeledDataset
+from .metrics import DetectionScore, score_detection
+from .timer import CostProfile
+
+
+class Detector(Protocol):
+    """Anything with ENLD's ``detect`` contract (ENLD or a baseline)."""
+
+    def detect(self, dataset: LabeledDataset) -> DetectionResult: ...
+
+
+@dataclass
+class ShardOutcome:
+    """Score + cost of one detector on one arriving dataset."""
+
+    shard_name: str
+    score: DetectionScore
+    process_seconds: float
+    train_samples: int
+    result: DetectionResult
+
+
+@dataclass
+class MethodReport:
+    """Aggregated outcomes of one method across a stream."""
+
+    method: str
+    outcomes: List[ShardOutcome] = field(default_factory=list)
+    cost: CostProfile = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cost is None:
+            self.cost = CostProfile(method=self.method)
+
+    def add(self, outcome: ShardOutcome) -> None:
+        self.outcomes.append(outcome)
+        self.cost.add_request(outcome.process_seconds,
+                              outcome.train_samples)
+
+    def _values(self, attr: str) -> np.ndarray:
+        return np.array([getattr(o.score, attr) for o in self.outcomes])
+
+    @property
+    def mean_precision(self) -> float:
+        return float(self._values("precision").mean()) if self.outcomes else 0.0
+
+    @property
+    def mean_recall(self) -> float:
+        return float(self._values("recall").mean()) if self.outcomes else 0.0
+
+    @property
+    def mean_f1(self) -> float:
+        return float(self._values("f1").mean()) if self.outcomes else 0.0
+
+    @property
+    def std_f1(self) -> float:
+        return float(self._values("f1").std()) if self.outcomes else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "method": self.method,
+            "shards": len(self.outcomes),
+            "precision": self.mean_precision,
+            "recall": self.mean_recall,
+            "f1": self.mean_f1,
+            "mean_process_seconds": self.cost.mean_process_seconds,
+            "setup_seconds": self.cost.setup_seconds,
+        }
+
+
+def run_detector(detector: Detector, arrivals: Iterable[LabeledDataset],
+                 method_name: str,
+                 setup_seconds: float = 0.0,
+                 setup_train_samples: int = 0) -> MethodReport:
+    """Run one detector over every arrival and score each result."""
+    report = MethodReport(method=method_name)
+    report.cost.setup_seconds = setup_seconds
+    report.cost.setup_train_samples = setup_train_samples
+    for dataset in arrivals:
+        result = detector.detect(dataset)
+        outcome = ShardOutcome(
+            shard_name=dataset.name,
+            score=score_detection(result, dataset),
+            process_seconds=result.process_seconds,
+            train_samples=result.train_samples,
+            result=result,
+        )
+        report.add(outcome)
+    return report
+
+
+def compare_detectors(detectors: Dict[str, Detector],
+                      arrivals: List[LabeledDataset],
+                      setup_seconds: Dict[str, float] | None = None
+                      ) -> Dict[str, MethodReport]:
+    """Run several detectors over the *same* materialised arrivals."""
+    setup_seconds = setup_seconds or {}
+    return {
+        name: run_detector(det, arrivals, name,
+                           setup_seconds=setup_seconds.get(name, 0.0))
+        for name, det in detectors.items()
+    }

@@ -1,0 +1,64 @@
+"""Statistical significance of method comparisons.
+
+The paper reports mean F1 over 10–20 incremental shards; whether method
+A "beats" method B should account for per-shard variance.  This module
+provides a paired bootstrap over shard-level scores — the standard test
+when two methods are evaluated on the same shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .runner import MethodReport
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired bootstrap between two methods."""
+
+    method_a: str
+    method_b: str
+    mean_difference: float      # mean(A) - mean(B) on the observed shards
+    p_value: float              # P(bootstrap difference <= 0)
+    ci_low: float               # 95% CI of the difference
+    ci_high: float
+    num_shards: int
+
+    @property
+    def significant(self) -> bool:
+        """True when A > B at the 5% level."""
+        return self.p_value < 0.05 and self.mean_difference > 0
+
+
+def paired_bootstrap(report_a: MethodReport, report_b: MethodReport,
+                     metric: str = "f1", num_resamples: int = 10000,
+                     seed: int = 0) -> PairedComparison:
+    """Paired bootstrap test that method A outperforms method B.
+
+    Both reports must cover the same shards in the same order.  The
+    statistic is the mean per-shard difference of ``metric``; resampling
+    is over shards with replacement.
+    """
+    names_a = [o.shard_name for o in report_a.outcomes]
+    names_b = [o.shard_name for o in report_b.outcomes]
+    if names_a != names_b:
+        raise ValueError(
+            "paired bootstrap requires identical shard sequences; got "
+            f"{names_a} vs {names_b}")
+    if not names_a:
+        raise ValueError("no shards to compare")
+    a = np.array([getattr(o.score, metric) for o in report_a.outcomes])
+    b = np.array([getattr(o.score, metric) for o in report_b.outcomes])
+    diffs = a - b
+    rng = np.random.default_rng(seed)
+    n = len(diffs)
+    samples = diffs[rng.integers(0, n, size=(num_resamples, n))].mean(axis=1)
+    p_value = float((samples <= 0).mean())
+    low, high = np.percentile(samples, [2.5, 97.5])
+    return PairedComparison(
+        method_a=report_a.method, method_b=report_b.method,
+        mean_difference=float(diffs.mean()), p_value=p_value,
+        ci_low=float(low), ci_high=float(high), num_shards=n)

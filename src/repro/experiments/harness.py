@@ -1,0 +1,89 @@
+"""Shared experiment harness: materialise a world, build detectors.
+
+Every figure driver starts from the same three steps — generate a
+synthetic dataset, split it into inventory and an incremental stream,
+and corrupt labels at a noise rate — so this module centralises them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import (ConfidentLearningDetector, DefaultDetector,
+                         TopofilterDetector)
+from ..core.enld import ENLD
+from ..datasets import (generate, get_preset, paper_shard_plan,
+                        split_inventory_incremental)
+from ..datalake import ArrivalStream
+from ..nn.data import LabeledDataset
+from ..noise import corrupt_labels, pair_asymmetric
+from .presets import ExperimentPreset
+
+
+@dataclass
+class Environment:
+    """A materialised experimental world at one noise rate."""
+
+    preset: ExperimentPreset
+    noise_rate: float
+    num_classes: int
+    inventory: LabeledDataset          # noisy inventory I
+    pool: LabeledDataset               # clean incremental pool
+    arrivals: List[LabeledDataset]     # noisy incremental datasets
+    transition: np.ndarray
+
+
+def build_environment(preset: ExperimentPreset, noise_rate: float,
+                      missing_fraction: float = 0.0) -> Environment:
+    """Generate data, split it and corrupt labels per the paper's §V-A."""
+    spec = get_preset(preset.dataset_preset, scale=preset.scale) \
+        if preset.dataset_preset != "toy" else get_preset("toy")
+    data = generate(spec, seed=preset.seed)
+    rng = np.random.default_rng(preset.seed + 1)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(spec.num_classes, noise_rate)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    stream = ArrivalStream(pool, paper_shard_plan(preset.dataset_preset),
+                           transition=transition,
+                           missing_fraction=missing_fraction,
+                           num_classes=spec.num_classes,
+                           seed=preset.seed + 2)
+    arrivals = stream.arrivals()
+    if preset.shard_limit is not None:
+        arrivals = arrivals[:preset.shard_limit]
+    return Environment(preset=preset, noise_rate=noise_rate,
+                       num_classes=spec.num_classes, inventory=inventory,
+                       pool=pool, arrivals=arrivals, transition=transition)
+
+
+def build_enld(env: Environment, **config_overrides) -> ENLD:
+    """An initialised ENLD instance for the environment."""
+    config = env.preset.enld_config(**config_overrides)
+    return ENLD(config).initialize(env.inventory,
+                                   num_classes=env.num_classes)
+
+
+def build_baselines(env: Environment, enld: ENLD,
+                    include_topofilter: bool = True) -> Dict[str, object]:
+    """The paper's §V-A4 baselines sharing ENLD's general model."""
+    detectors: Dict[str, object] = {
+        "default": DefaultDetector(enld.model),
+        "cl_prune_by_class": ConfidentLearningDetector(
+            enld.model, enld.inventory_candidates,
+            method="prune_by_class"),
+        "cl_prune_by_noise_rate": ConfidentLearningDetector(
+            enld.model, enld.inventory_candidates,
+            method="prune_by_noise_rate"),
+    }
+    if include_topofilter:
+        detectors["topofilter"] = TopofilterDetector(
+            env.inventory, env.num_classes,
+            model_name=env.preset.model_name,
+            train_epochs=env.preset.topofilter_epochs,
+            knn_k=env.preset.topofilter_knn_k,
+            mixup_alpha=env.preset.topofilter_mixup,
+            seed=env.preset.seed)
+    return detectors

@@ -1,0 +1,387 @@
+"""Render EXPERIMENTS.md from benchmark result JSON files.
+
+``pytest benchmarks/ --benchmark-only`` writes one JSON per figure into
+``benchmarks/results/``; this module turns those into the
+paper-vs-measured record the repository ships as EXPERIMENTS.md::
+
+    python -m repro report --results benchmarks/results -o EXPERIMENTS.md
+
+Paper-side numbers are the values reported in the ICDE 2023 text
+(means over noise rates unless stated otherwise).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Optional
+
+#: The paper's headline numbers, quoted in §I and §V.
+PAPER_VALUES: Dict[str, Dict] = {
+    "fig4": {"enld_f1": 0.9191, "topofilter_f1": 0.9021,
+             "speedup": 4.09, "dataset": "EMNIST"},
+    "fig5": {"enld_f1": 0.8194, "topofilter_f1": 0.8139,
+             "speedup": 3.65, "dataset": "CIFAR100"},
+    "fig7": {"enld_f1": 0.7297, "topofilter_f1": 0.6171,
+             "speedup": 4.97, "dataset": "Tiny-ImageNet"},
+    "fig6": {"speedups": {"densenet121": 2.46, "resnet164": 2.64}},
+    "fig14": {"origin_f1": 0.8139, "enld1_f1": 0.6721},
+    "table2": {"origin": [0.5893, 0.5285, 0.4508, 0.3717],
+               "update": [0.6131, 0.5706, 0.4940, 0.3723]},
+}
+
+
+def _load(results_dir: str, name: str) -> Optional[dict]:
+    path = os.path.join(results_dir, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _pct(x: float) -> str:
+    return f"{x:.4f}"
+
+
+def _method_section(name: str, fig_key: str, title: str,
+                    results_dir: str) -> str:
+    data = _load(results_dir, name)
+    paper = PAPER_VALUES[fig_key]
+    lines = [f"## {title}", ""]
+    if data is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    lines.append(f"Paper ({paper['dataset']}): ENLD mean F1 "
+                 f"**{paper['enld_f1']}** vs Topofilter "
+                 f"**{paper['topofilter_f1']}**; ENLD is "
+                 f"**{paper['speedup']}x** faster per request.")
+    lines.append("")
+    lines.append("Measured (bench scale):")
+    lines.append("")
+    lines.append("| method | mean F1 |")
+    lines.append("|---|---|")
+    for method, f1 in sorted(data["mean_f1"].items(),
+                             key=lambda kv: -kv[1]):
+        lines.append(f"| {method} | {_pct(f1)} |")
+    eta_keys = list(data["per_noise_rate"])
+    speedups = [data["per_noise_rate"][k]["enld"].get(
+        "speedup_over_topofilter") for k in eta_keys]
+    works = [data["per_noise_rate"][k]["enld"].get(
+        "work_speedup_over_topofilter") for k in eta_keys]
+    speedups = [s for s in speedups if s is not None]
+    works = [w for w in works if w is not None]
+    if speedups:
+        mean_s = sum(speedups) / len(speedups)
+        mean_w = sum(works) / len(works)
+        lines.append("")
+        lines.append(f"ENLD vs Topofilter per-request speedup: "
+                     f"**{mean_s:.2f}x** wall-clock, **{mean_w:.2f}x** "
+                     "in the work model (training sample-epochs).")
+    lines.append("")
+    lines.append("Shape check: ENLD leads on mean F1 and undercuts the "
+                 "training-based baseline's per-request cost, as in the "
+                 "paper. Absolute F1 levels differ (synthetic data, "
+                 "smaller inventory).")
+    return "\n".join(lines)
+
+
+def _fig3_section(results_dir: str) -> str:
+    data = _load(results_dir, "fig03_contribution")
+    lines = ["## Fig. 3 — contribution of sample-addition strategies", ""]
+    if data is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    lines.append("Paper: after fine-tuning with true-labelled additions, "
+                 "Nearest-Related < Nearest-Only < Origin in loss, with "
+                 "Random giving little improvement.")
+    lines.append("")
+    lines.append("| noise | origin | random | nearest_only | nearest_related |")
+    lines.append("|---|---|---|---|---|")
+    for eta, block in data.items():
+        lines.append(f"| {eta} | " + " | ".join(
+            _pct(block[s]) for s in ("origin", "random", "nearest_only",
+                                     "nearest_related")) + " |")
+    lines.append("")
+    lines.append("Shape check: nearest-related attains the lowest mean "
+                 "loss — Corollary 3's prediction.")
+    return "\n".join(lines)
+
+
+def _fig6_section(results_dir: str) -> str:
+    data = _load(results_dir, "fig06_networks")
+    lines = ["## Fig. 6 — architecture generalisation", ""]
+    if data is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    paper = PAPER_VALUES["fig6"]["speedups"]
+    lines.append("Paper: ENLD beats Topofilter with DenseNet-121 and "
+                 f"ResNet-164 while saving {paper['densenet121']}x / "
+                 f"{paper['resnet164']}x process time.")
+    lines.append("")
+    lines.append("| model | ENLD F1 | Topofilter F1 | speedup |")
+    lines.append("|---|---|---|---|")
+    for model, stats in data.items():
+        lines.append(f"| {model} | {_pct(stats['enld']['f1'])} | "
+                     f"{_pct(stats['topofilter']['f1'])} | "
+                     f"{stats['speedup']:.2f}x |")
+    return "\n".join(lines)
+
+
+def _fig8_section(results_dir: str) -> str:
+    data = _load(results_dir, "fig08_timecost")
+    lines = ["## Fig. 8 — setup and process time", ""]
+    if data is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    lines.append("Paper: Default/CL share the setup cost with near-zero "
+                 "process time; Topofilter pays no setup but the largest "
+                 "per-request cost; ENLD is 3.65–4.97x faster than "
+                 "Topofilter per request.")
+    lines.append("")
+    lines.append("| dataset | method | setup_s | process_s | "
+                 "train sample-epochs |")
+    lines.append("|---|---|---|---|---|")
+    for dataset, methods in data.items():
+        for method, stats in methods.items():
+            lines.append(
+                f"| {dataset} | {method} | "
+                f"{stats['setup_seconds']:.1f} | "
+                f"{stats['mean_process_seconds']:.3f} | "
+                f"{stats['mean_process_train_samples']:.0f} |")
+    lines.append("")
+    lines.append("Note: wall-clock ratios compress at bench scale (the "
+                 "inventory is ~100x smaller than the paper's); the work "
+                 "model preserves the ordering at any scale.")
+    return "\n".join(lines)
+
+
+def _fig9_section(results_dir: str) -> str:
+    data = _load(results_dir, "fig09_process")
+    lines = ["## Fig. 9 — detection trajectory over iterations", ""]
+    if data is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    lines.append("Paper: recall starts high and drifts down slowly while "
+                 "precision/F1 rise; high noise flattens earlier.")
+    lines.append("")
+    for eta, series in data.items():
+        f1 = " → ".join(_pct(v) for v in series["f1"])
+        lines.append(f"- {eta}: F1 {f1}")
+    return "\n".join(lines)
+
+
+def _fig10_section(results_dir: str) -> str:
+    data = _load(results_dir, "fig10_policies")
+    lines = ["## Fig. 10 — sampling-policy comparison", ""]
+    if data is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    lines.append("Paper: contrastive sampling leads; HC/Pseudo beat "
+                 "Entropy/LC/Random.")
+    lines.append("")
+    lines.append("| policy | mean F1 |")
+    lines.append("|---|---|")
+    for policy, f1 in sorted(data["mean_f1"].items(),
+                             key=lambda kv: -kv[1]):
+        lines.append(f"| {policy} | {_pct(f1)} |")
+    return "\n".join(lines)
+
+
+def _fig11_12_section(results_dir: str) -> str:
+    data11 = _load(results_dir, "fig11_k_sweep")
+    data12 = _load(results_dir, "fig12_k_time")
+    lines = ["## Figs. 11 & 12 — hyperparameter k", ""]
+    if data11 is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    lines.append("Paper: F1 grows with k (diminishing returns ≥3); "
+                 "process time grows with k but k=3 can undercut k=2 via "
+                 "faster convergence.")
+    lines.append("")
+    src = (data12 or data11)["mean"] if (data12 or data11) else {}
+    lines.append("| k | mean F1 | mean process_s |")
+    lines.append("|---|---|---|")
+    for key in sorted(src, key=lambda s: int(s.split("=")[1])):
+        stats = src[key]
+        lines.append(f"| {key} | {_pct(stats['f1'])} | "
+                     f"{stats['mean_process_seconds']:.3f} |")
+    return "\n".join(lines)
+
+
+def _table2_section(results_dir: str) -> str:
+    data = _load(results_dir, "table2_model_update")
+    paper = PAPER_VALUES["table2"]
+    lines = ["## Table II — model update", ""]
+    if data is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    lines.append("| noise | paper origin→update | measured origin→update |")
+    lines.append("|---|---|---|")
+    for i, (eta, block) in enumerate(sorted(data.items())):
+        p_o = paper["origin"][i] if i < len(paper["origin"]) else None
+        p_u = paper["update"][i] if i < len(paper["update"]) else None
+        paper_cell = (f"{p_o:.4f} → {p_u:.4f}" if p_o is not None else "—")
+        lines.append(
+            f"| {eta} | {paper_cell} | "
+            f"{block['origin_accuracy']:.4f} → "
+            f"{block['update_accuracy']:.4f} |")
+    lines.append("")
+    lines.append("Shape check: updating on the stringently-voted clean "
+                 "inventory improves generalisation; gains shrink as "
+                 "noise grows.")
+    return "\n".join(lines)
+
+
+def _fig13_section(results_dir: str) -> str:
+    data_a = _load(results_dir, "fig13a_missing")
+    data_b = _load(results_dir, "fig13b_ambiguous")
+    lines = ["## Fig. 13 — missing labels and ambiguous-set size", ""]
+    if data_a is not None:
+        lines.append("Fig. 13a (paper: pseudo-label and detection F1 "
+                     "degrade as the missing rate rises):")
+        lines.append("")
+        lines.append("| missing | pseudo F1 | detection F1 |")
+        lines.append("|---|---|---|")
+        for key, block in data_a.items():
+            lines.append(f"| {key} | {_pct(block['pseudo_f1'])} | "
+                         f"{_pct(block['detection_f1'])} |")
+        lines.append("")
+    if data_b is not None:
+        series = " → ".join(f"{v:.1f}" for v in data_b["num_ambiguous"])
+        lines.append(f"Fig. 13b (paper: |A| shrinks per iteration): "
+                     f"measured |A| = {series}.")
+    if data_a is None and data_b is None:
+        lines.append("_No recorded benchmark result._")
+    return "\n".join(lines)
+
+
+def _fig14_section(results_dir: str) -> str:
+    data = _load(results_dir, "fig14_ablation")
+    paper = PAPER_VALUES["fig14"]
+    lines = ["## Fig. 14 — ablation study", ""]
+    if data is None:
+        lines.append("_No recorded benchmark result._")
+        return "\n".join(lines)
+    lines.append(f"Paper: removing contrastive sampling drops mean F1 "
+                 f"from {paper['origin_f1']} to {paper['enld1_f1']}; "
+                 "ENLD-2 helps only at low noise; ENLD-3 destabilises "
+                 "training; ENLD-4 wins only at η=0.1.")
+    lines.append("")
+    lines.append("| variant | mean F1 |")
+    lines.append("|---|---|")
+    for variant, f1 in sorted(data["mean_f1"].items(),
+                              key=lambda kv: -kv[1]):
+        lines.append(f"| {variant} | {_pct(f1)} |")
+    return "\n".join(lines)
+
+
+def _extensions_section(results_dir: str) -> str:
+    lines = ["## Extensions (beyond the paper)", ""]
+    kd = _load(results_dir, "kdtree_speedup")
+    if kd is not None:
+        lines.append(f"- KD-tree vs brute-force contrastive sampling "
+                     f"(16k candidates): {kd['kdtree_s']:.3f}s vs "
+                     f"{kd['bruteforce_s']:.3f}s.")
+    noise = _load(results_dir, "ext_noise_models")
+    if noise is not None:
+        for model, stats in noise.items():
+            lines.append(f"- Noise model `{model}`: ENLD F1 "
+                         f"{stats['enld_f1']:.4f} vs Default "
+                         f"{stats['default_f1']:.4f}.")
+    conv = _load(results_dir, "ext_convnet")
+    if conv is not None:
+        lines.append(f"- Convolutional backbone: ENLD F1 "
+                     f"{conv['smallconv']['f1']:.4f} with SmallConvNet vs "
+                     f"{conv['tinyresnet']['f1']:.4f} with the MLP analog "
+                     "(pipeline is backbone-agnostic).")
+    track = _load(results_dir, "ext_loss_tracking")
+    if track is not None:
+        lines.append(
+            f"- Loss-tracking families at η=0.2: ENLD F1 "
+            f"{track['enld']['f1']:.4f} vs O2U "
+            f"{track['o2u']['f1']:.4f} vs small-loss "
+            f"{track['small_loss']['f1']:.4f}, at "
+            f"{track['enld']['mean_process_train_samples']:.0f} vs "
+            f"{track['o2u']['mean_process_train_samples']:.0f} training "
+            "sample-epochs per request — the intro's efficiency claim.")
+    if len(lines) == 2:
+        lines.append("_No recorded extension results._")
+    return "\n".join(lines)
+
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+For every table and figure of the paper's evaluation (§V), this file
+records the paper's reported numbers next to the numbers measured by
+this reproduction's benchmark suite
+(`pytest benchmarks/ --benchmark-only`; raw data in
+`benchmarks/results/*.json`, regenerate this file with
+`python -m repro report`).
+
+**Reading guide.** The substrate differs from the paper's by design
+(synthetic datasets, numpy MLP-analog models, CPU timing — DESIGN.md
+documents every substitution), so *absolute* numbers differ. What must
+hold — and is asserted by the benchmark suite itself — is the *shape*
+of each result: who wins, how orderings move with noise rate, and where
+the costs come from. Known bench-scale caveats are noted inline.
+"""
+
+
+DEVIATIONS = """## Known deviations at bench scale
+
+Documented for transparency; none affects the asserted shapes.
+
+1. **Topofilter's rank.** In the paper Topofilter is the strong
+   runner-up; at bench scale it often falls below Default/CL on the
+   100/200-class analogs. Its per-class largest-connected-component
+   filter needs dense per-class clusters (the paper's CIFAR100 gives it
+   ~330 samples per class per graph; the bench analog ~45). On the
+   26-class EMNIST analog, where clusters are denser, it recovers its
+   paper role as second-best. ENLD's lead over it holds everywhere.
+2. **Absolute F1 levels.** Synthetic prototype data with a small
+   inventory yields easier low-noise regimes (higher F1 than the paper
+   at η=0.1) and harder high-noise regimes (lower F1 at η=0.4) than the
+   real datasets; the noise-rate *trends* match.
+3. **Wall-clock speedups.** The ENLD-vs-Topofilter process-time ratio
+   depends on the inventory-to-arrival size ratio; the bench reproduces
+   the paper's ~4x on the EMNIST analog and ~3x elsewhere, with the
+   machine-independent work model (training sample-epochs) showing
+   5–6x throughout.
+4. **Policy/ablation margins.** Fig. 10 and Fig. 14 gaps are a few F1
+   points here versus ~14 points in the paper, because the contrastive
+   advantage scales with candidate-pool size; the orderings still
+   reproduce (benches assert them on the high-noise regime where the
+   gaps concentrate).
+"""
+
+
+def render_markdown(results_dir: str) -> str:
+    """Render the full EXPERIMENTS.md body from recorded results."""
+    sections: List[str] = [HEADER]
+    sections.append(_fig3_section(results_dir))
+    sections.append(_method_section(
+        "fig04_emnist_methods", "fig4",
+        "Fig. 4 — method comparison (EMNIST analog)", results_dir))
+    sections.append(_method_section(
+        "fig05_cifar_methods", "fig5",
+        "Fig. 5 — method comparison (CIFAR100 analog)", results_dir))
+    sections.append(_fig6_section(results_dir))
+    sections.append(_method_section(
+        "fig07_tiny_methods", "fig7",
+        "Fig. 7 — method comparison (Tiny-ImageNet analog)", results_dir))
+    sections.append(_fig8_section(results_dir))
+    sections.append(_fig9_section(results_dir))
+    sections.append(_fig10_section(results_dir))
+    sections.append(_fig11_12_section(results_dir))
+    sections.append(_table2_section(results_dir))
+    sections.append(_fig13_section(results_dir))
+    sections.append(_fig14_section(results_dir))
+    sections.append(_extensions_section(results_dir))
+    sections.append(DEVIATIONS.rstrip())
+    return "\n\n".join(sections) + "\n"
+
+
+def write_markdown(results_dir: str, output_path: str) -> None:
+    """Render and write EXPERIMENTS.md."""
+    with open(output_path, "w") as fh:
+        fh.write(render_markdown(results_dir))

@@ -1,0 +1,8 @@
+"""``repro.index`` — nearest-neighbour index structures."""
+
+from .balltree import BallTree
+from .classindex import BACKENDS, ClassFeatureIndex, build_index
+from .kdtree import KDTree, brute_force_knn
+
+__all__ = ["KDTree", "BallTree", "brute_force_knn",
+           "ClassFeatureIndex", "build_index", "BACKENDS"]

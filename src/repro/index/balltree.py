@@ -1,0 +1,155 @@
+"""Ball tree for k-nearest-neighbour queries in high dimensions.
+
+KD-trees partition by axis-aligned splits, which lose pruning power as
+dimensionality grows; the penultimate-layer features ENLD indexes are
+64–96-dimensional, where metric trees prune better.  This ball tree
+partitions points into nested hyperspheres and prunes with the triangle
+inequality, exposing the same ``query`` interface as
+:class:`repro.index.kdtree.KDTree` so the two are interchangeable in
+:class:`repro.index.classindex.ClassFeatureIndex`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+import numpy as np
+
+_LEAF_SIZE = 16
+
+
+class BallTree:
+    """Static ball tree over a set of points (Euclidean metric).
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(N, D)``.  A reference is kept; do not mutate.
+    leaf_size:
+        Maximum number of points stored in a leaf.
+    """
+
+    def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (N, D), got {points.shape}")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be positive")
+        self.points = points
+        self.leaf_size = leaf_size
+        self._n, self._d = points.shape
+        self._order = np.arange(self._n)
+        # Node storage.
+        self._center: List[np.ndarray] = []
+        self._radius: List[float] = []
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._leaf_start: List[int] = []
+        self._leaf_stop: List[int] = []
+        self._root = self._build(0, self._n) if self._n else -1
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------
+    def _new_node(self, center: np.ndarray, radius: float) -> int:
+        self._center.append(center)
+        self._radius.append(radius)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._leaf_start.append(-1)
+        self._leaf_stop.append(-1)
+        return len(self._center) - 1
+
+    def _build(self, start: int, stop: int) -> int:
+        idx = self._order[start:stop]
+        subset = self.points[idx]
+        center = subset.mean(axis=0)
+        dists = np.linalg.norm(subset - center, axis=1)
+        radius = float(dists.max()) if len(dists) else 0.0
+        node = self._new_node(center, radius)
+        count = stop - start
+        if count <= self.leaf_size or radius == 0.0:
+            self._leaf_start[node] = start
+            self._leaf_stop[node] = stop
+            return node
+        # Split along the direction of maximal extent: pick the point
+        # farthest from the centroid as pole A, the point farthest from
+        # A as pole B, and partition by nearest pole.
+        pole_a = subset[int(np.argmax(dists))]
+        d_to_a = np.linalg.norm(subset - pole_a, axis=1)
+        pole_b = subset[int(np.argmax(d_to_a))]
+        d_to_b = np.linalg.norm(subset - pole_b, axis=1)
+        to_a = d_to_a <= d_to_b
+        # Guard against degenerate splits (all points on one side).
+        if to_a.all() or (~to_a).all():
+            half = count // 2
+            to_a = np.zeros(count, dtype=bool)
+            to_a[:half] = True
+        left_idx = idx[to_a]
+        right_idx = idx[~to_a]
+        self._order[start:start + len(left_idx)] = left_idx
+        self._order[start + len(left_idx):stop] = right_idx
+        mid = start + len(left_idx)
+        self._left[node] = self._build(start, mid)
+        self._right[node] = self._build(mid, stop)
+        return node
+
+    # ------------------------------------------------------------------
+    def query(self, point: np.ndarray, k: int = 1
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``k`` nearest neighbours of ``point``.
+
+        Returns ``(distances, indices)`` sorted by ascending distance.
+        """
+        point = np.asarray(point, dtype=np.float64).ravel()
+        if point.shape[0] != self._d:
+            raise ValueError(
+                f"query dim {point.shape[0]} != tree dim {self._d}")
+        if k < 1:
+            raise ValueError("k must be positive")
+        if self._n == 0:
+            return np.empty(0), np.empty(0, dtype=int)
+        k = min(k, self._n)
+        heap: List[Tuple[float, int]] = []  # max-heap of (-dist, index)
+        # Best-first search ordered by lower-bound distance to each ball.
+        root_bound = max(
+            0.0, float(np.linalg.norm(point - self._center[self._root]))
+            - self._radius[self._root])
+        candidates: List[Tuple[float, int]] = [(root_bound, self._root)]
+        while candidates:
+            bound, node = heapq.heappop(candidates)
+            if len(heap) == k and bound >= -heap[0][0]:
+                break  # no ball can improve on the current kth best
+            if self._leaf_start[node] >= 0:
+                idx = self._order[self._leaf_start[node]:
+                                  self._leaf_stop[node]]
+                dists = np.linalg.norm(self.points[idx] - point, axis=1)
+                for dist, i in zip(dists, idx):
+                    if len(heap) < k:
+                        heapq.heappush(heap, (-dist, int(i)))
+                    elif dist < -heap[0][0]:
+                        heapq.heapreplace(heap, (-dist, int(i)))
+                continue
+            for child in (self._left[node], self._right[node]):
+                child_bound = max(
+                    0.0, float(np.linalg.norm(point - self._center[child]))
+                    - self._radius[child])
+                heapq.heappush(candidates, (child_bound, child))
+        items = sorted((-d, i) for d, i in heap)
+        return (np.array([d for d, _ in items]),
+                np.array([i for _, i in items], dtype=int))
+
+    def query_batch(self, points: np.ndarray, k: int = 1
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised multi-query; returns ``(dists, idx)`` of shape (Q, k')."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("query_batch expects (Q, D)")
+        kk = min(k, max(self._n, 1))
+        dists = np.empty((len(points), kk))
+        idx = np.empty((len(points), kk), dtype=int)
+        for row, p in enumerate(points):
+            dists[row], idx[row] = self.query(p, k=k)
+        return dists, idx

@@ -1,0 +1,133 @@
+"""Per-class feature indexes for contrastive sampling.
+
+``ClassFeatureIndex`` maintains one nearest-neighbour tree per observed
+label over the feature representations of the high-quality inventory
+samples — exactly the structure the paper's §IV-D implementation note
+prescribes for efficient repeated ``k_nearest(M̂(x, θ), H_j, k)``
+queries.
+
+Three backends are supported:
+
+- ``"kdtree"`` (default, the paper's structure);
+- ``"balltree"`` — metric tree that prunes better in high dimensions;
+- ``"brute"``  — exact linear scan (the ablation baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .balltree import BallTree
+from .kdtree import KDTree, brute_force_knn
+
+BACKENDS = ("kdtree", "balltree", "brute")
+
+
+class ClassFeatureIndex:
+    """Per-class nearest-neighbour trees over sample features.
+
+    Parameters
+    ----------
+    features:
+        Array of shape ``(N, D)``: the representation ``M̂(x, θ)`` of
+        each candidate sample.
+    labels:
+        Observed labels of the candidates, shape ``(N,)``.
+    use_kdtree:
+        Legacy switch: ``False`` selects the brute-force backend
+        (overridden by an explicit ``backend``).
+    backend:
+        One of :data:`BACKENDS`.
+    source_indices:
+        Caller-level positions aligned with ``features``; query results
+        are reported in this coordinate system.
+    """
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray,
+                 use_kdtree: bool = True, leaf_size: int = 16,
+                 source_indices: Optional[np.ndarray] = None,
+                 backend: Optional[str] = None):
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError(f"features must be (N, D), got {features.shape}")
+        if labels.shape != (len(features),):
+            raise ValueError("labels must align with features")
+        if backend is None:
+            backend = "kdtree" if use_kdtree else "brute"
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; available: {BACKENDS}")
+        self.features = features
+        self.labels = labels
+        self.backend = backend
+        self.use_kdtree = backend == "kdtree"
+        if source_indices is None:
+            self.source_indices = np.arange(len(features))
+        else:
+            self.source_indices = np.asarray(source_indices, dtype=int)
+            if self.source_indices.shape != (len(features),):
+                raise ValueError("source_indices must align with features")
+        self._positions: Dict[int, np.ndarray] = {}
+        self._trees: Dict[int, object] = {}
+        for cls in np.unique(labels):
+            pos = np.nonzero(labels == cls)[0]
+            self._positions[int(cls)] = pos
+            if backend == "kdtree":
+                self._trees[int(cls)] = KDTree(features[pos],
+                                               leaf_size=leaf_size)
+            elif backend == "balltree":
+                self._trees[int(cls)] = BallTree(features[pos],
+                                                 leaf_size=leaf_size)
+
+    @property
+    def classes(self) -> List[int]:
+        """Classes with at least one indexed sample."""
+        return sorted(self._positions)
+
+    def class_size(self, cls: int) -> int:
+        """Number of indexed samples of class ``cls``."""
+        return len(self._positions.get(int(cls), ()))
+
+    def query(self, feature: np.ndarray, cls: int, k: int
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """``k`` nearest candidates of class ``cls`` to ``feature``.
+
+        Returns ``(distances, source_positions)`` where positions refer
+        to the caller's coordinate system (``source_indices`` passed at
+        construction, defaulting to row numbers).  Empty arrays when the
+        class has no candidates.
+        """
+        cls = int(cls)
+        pos = self._positions.get(cls)
+        if pos is None or len(pos) == 0:
+            return np.empty(0), np.empty(0, dtype=int)
+        if self.backend == "brute":
+            dists, local = brute_force_knn(self.features[pos], feature, k)
+        else:
+            dists, local = self._trees[cls].query(feature, k=k)
+        return dists, self.source_indices[pos[local]]
+
+    def total_indexed(self) -> int:
+        """Total number of indexed samples across classes."""
+        return sum(len(p) for p in self._positions.values())
+
+
+def build_index(features: np.ndarray, labels: np.ndarray,
+                restrict_to: Optional[Iterable[int]] = None,
+                use_kdtree: bool = True,
+                backend: Optional[str] = None) -> ClassFeatureIndex:
+    """Build a :class:`ClassFeatureIndex`, optionally restricted to a
+    label subset (the paper's ``H'`` restricted to ``label(D)``)."""
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    source = np.arange(len(labels))
+    if restrict_to is not None:
+        allowed = np.isin(labels, np.fromiter(restrict_to, dtype=labels.dtype))
+        features = features[allowed]
+        labels = labels[allowed]
+        source = source[allowed]
+    return ClassFeatureIndex(features, labels, use_kdtree=use_kdtree,
+                             backend=backend, source_indices=source)

@@ -1,0 +1,106 @@
+"""Image-style data augmentation for NCHW (or flat) batches.
+
+The paper's training pipelines use standard augmentation alongside
+Mixup; this module provides deterministic, generator-driven transforms
+that operate on numpy batches and compose into a pipeline usable from
+:func:`repro.nn.train.fit` via ``augment_fn``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+AugmentFn = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def random_shift(max_pixels: int = 2) -> AugmentFn:
+    """Random per-sample spatial shift with zero padding (NCHW)."""
+    if max_pixels < 0:
+        raise ValueError("max_pixels must be non-negative")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"random_shift expects NCHW, got {batch.shape}")
+        out = np.zeros_like(batch)
+        n, _, h, w = batch.shape
+        dys = rng.integers(-max_pixels, max_pixels + 1, size=n)
+        dxs = rng.integers(-max_pixels, max_pixels + 1, size=n)
+        for i, (dy, dx) in enumerate(zip(dys, dxs)):
+            src_y = slice(max(0, -dy), min(h, h - dy))
+            dst_y = slice(max(0, dy), min(h, h + dy))
+            src_x = slice(max(0, -dx), min(w, w - dx))
+            dst_x = slice(max(0, dx), min(w, w + dx))
+            out[i, :, dst_y, dst_x] = batch[i, :, src_y, src_x]
+        return out
+
+    return apply
+
+
+def random_hflip(probability: float = 0.5) -> AugmentFn:
+    """Random horizontal flip per sample (NCHW)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"random_hflip expects NCHW, got {batch.shape}")
+        flip = rng.random(len(batch)) < probability
+        out = batch.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+    return apply
+
+
+def gaussian_jitter(sigma: float = 0.05) -> AugmentFn:
+    """Additive white noise; works on any batch shape."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if sigma == 0:
+            return batch
+        return batch + rng.normal(scale=sigma, size=batch.shape)
+
+    return apply
+
+
+def cutout(size: int = 4) -> AugmentFn:
+    """Zero a random square patch per sample (NCHW)."""
+    if size < 1:
+        raise ValueError("size must be positive")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"cutout expects NCHW, got {batch.shape}")
+        out = batch.copy()
+        n, _, h, w = batch.shape
+        ys = rng.integers(0, max(h - size + 1, 1), size=n)
+        xs = rng.integers(0, max(w - size + 1, 1), size=n)
+        for i, (y, x) in enumerate(zip(ys, xs)):
+            out[i, :, y:y + size, x:x + size] = 0.0
+        return out
+
+    return apply
+
+
+def compose(transforms: Sequence[AugmentFn],
+            image_shape: Optional[Tuple[int, int, int]] = None) -> AugmentFn:
+    """Chain transforms; optionally reshape flat batches to NCHW first.
+
+    With ``image_shape`` set, flat ``(N, F)`` batches are reshaped to
+    ``(N, C, H, W)`` for the transforms and flattened back afterwards —
+    matching how the synthetic datasets store images.
+    """
+    transforms = list(transforms)
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flat = batch.ndim == 2 and image_shape is not None
+        out = batch.reshape(len(batch), *image_shape) if flat else batch
+        for transform in transforms:
+            out = transform(out, rng)
+        return out.reshape(len(batch), -1) if flat else out
+
+    return apply

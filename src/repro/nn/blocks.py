@@ -1,0 +1,98 @@
+"""Building blocks (residual and dense) for the model zoo.
+
+The paper evaluates on ResNet-110, ResNet-164 and DenseNet-121.  On a
+CPU-only substrate we keep the *topological* properties that matter to
+ENLD — depth, skip connections, dense connectivity — in MLP form (see
+DESIGN.md, substitution table).  Convolutional residual blocks are also
+provided for completeness and exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import BatchNorm1d, Conv2d, Linear, Module
+from .tensor import Tensor, concatenate
+
+
+class ResidualMLPBlock(Module):
+    """Pre-activation residual block: ``x + W2 relu(norm(W1 relu(norm(x))))``.
+
+    Follows the identity-mapping formulation of He et al. (2016), which
+    the paper's ResNet-110/164 use, transplanted to dense layers.
+    """
+
+    def __init__(self, width: int, rng: Optional[np.random.Generator] = None,
+                 use_norm: bool = True):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.norm1 = BatchNorm1d(width) if use_norm else None
+        self.fc1 = Linear(width, width, rng=rng)
+        self.norm2 = BatchNorm1d(width) if use_norm else None
+        self.fc2 = Linear(width, width, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = x
+        if self.norm1 is not None:
+            h = self.norm1(h)
+        h = self.fc1(h.relu())
+        if self.norm2 is not None:
+            h = self.norm2(h)
+        h = self.fc2(h.relu())
+        return x + h
+
+
+class DenseMLPBlock(Module):
+    """Dense block: each layer sees the concatenation of all earlier outputs.
+
+    The MLP analog of a DenseNet block; ``growth`` plays the role of the
+    growth rate.
+    """
+
+    def __init__(self, in_width: int, growth: int, num_layers: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = []
+        width = in_width
+        for _ in range(num_layers):
+            self.layers.append(Linear(width, growth, rng=rng))
+            width += growth
+        self.out_width = width
+
+    def forward(self, x: Tensor) -> Tensor:
+        features = x
+        for layer in self.layers:
+            new = layer(features.relu())
+            features = concatenate([features, new], axis=1)
+        return features
+
+
+class TransitionMLP(Module):
+    """Compress dense-block output back down (DenseNet transition analog)."""
+
+    def __init__(self, in_width: int, out_width: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.fc = Linear(in_width, out_width, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(x.relu())
+
+
+class ResidualConvBlock(Module):
+    """Basic 3x3 pre-activation convolutional residual block (NCHW)."""
+
+    def __init__(self, channels: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.conv1 = Conv2d(channels, channels, 3, padding=1, rng=rng)
+        self.conv2 = Conv2d(channels, channels, 3, padding=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.conv1(x.relu())
+        h = self.conv2(h.relu())
+        return x + h

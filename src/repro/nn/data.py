@@ -1,0 +1,207 @@
+"""Dataset containers and mini-batch loading for ``repro.nn``.
+
+:class:`LabeledDataset` is the unit of data exchanged throughout the
+reproduction: a pair of arrays (features ``x``, observed labels ``y``)
+plus optional hidden true labels used exclusively for evaluation, and
+stable per-sample ids so that subsets can be traced back to their
+origin (needed by the data-lake bookkeeping and the voting logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LabeledDataset:
+    """An immutable view over a labelled sample collection.
+
+    Attributes
+    ----------
+    x:
+        Feature array of shape ``(N, ...)``.
+    y:
+        Observed (possibly noisy) integer labels, shape ``(N,)``.
+    true_y:
+        Hidden ground-truth labels used only by evaluation code; ``None``
+        when unknown.
+    ids:
+        Stable global sample identifiers of shape ``(N,)``.  Generated
+        sequentially when not supplied.
+    name:
+        Human-readable dataset name.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    true_y: Optional[np.ndarray] = None
+    ids: Optional[np.ndarray] = None
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x)
+        self.y = np.asarray(self.y)
+        if self.y.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {self.y.shape}")
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"x has {len(self.x)} rows but y has {len(self.y)}")
+        if self.true_y is not None:
+            self.true_y = np.asarray(self.true_y)
+            if self.true_y.shape != self.y.shape:
+                raise ValueError("true_y must match y's shape")
+        if self.ids is None:
+            self.ids = np.arange(len(self.y), dtype=np.int64)
+        else:
+            self.ids = np.asarray(self.ids, dtype=np.int64)
+            if self.ids.shape != self.y.shape:
+                raise ValueError("ids must match y's shape")
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes inferred from the observed labels."""
+        return int(self.y.max()) + 1 if len(self.y) else 0
+
+    @property
+    def feature_dim(self) -> int:
+        """Flattened per-sample feature dimensionality."""
+        return int(np.prod(self.x.shape[1:]))
+
+    def flat_x(self) -> np.ndarray:
+        """Features flattened to ``(N, F)``."""
+        return self.x.reshape(len(self), -1)
+
+    def labels_present(self) -> np.ndarray:
+        """Sorted unique observed labels — ``label(D)`` in the paper."""
+        return np.unique(self.y)
+
+    def subset(self, indices: Sequence[int],
+               name: Optional[str] = None) -> "LabeledDataset":
+        """Row-subset preserving ids and hidden labels."""
+        indices = np.asarray(indices)
+        return LabeledDataset(
+            x=self.x[indices],
+            y=self.y[indices],
+            true_y=None if self.true_y is None else self.true_y[indices],
+            ids=self.ids[indices],
+            name=name or self.name,
+        )
+
+    def mask(self, boolean_mask: np.ndarray,
+             name: Optional[str] = None) -> "LabeledDataset":
+        """Boolean-mask subset."""
+        boolean_mask = np.asarray(boolean_mask, dtype=bool)
+        if boolean_mask.shape != self.y.shape:
+            raise ValueError("mask must match y's shape")
+        return self.subset(np.nonzero(boolean_mask)[0], name=name)
+
+    def concat(self, other: "LabeledDataset",
+               name: Optional[str] = None) -> "LabeledDataset":
+        """Row-concatenate two datasets (ids are preserved, may repeat)."""
+        true_y = None
+        if self.true_y is not None and other.true_y is not None:
+            true_y = np.concatenate([self.true_y, other.true_y])
+        return LabeledDataset(
+            x=np.concatenate([self.x, other.x]),
+            y=np.concatenate([self.y, other.y]),
+            true_y=true_y,
+            ids=np.concatenate([self.ids, other.ids]),
+            name=name or self.name,
+        )
+
+    def with_labels(self, new_y: np.ndarray,
+                    name: Optional[str] = None) -> "LabeledDataset":
+        """Copy of this dataset with replaced observed labels."""
+        new_y = np.asarray(new_y)
+        if new_y.shape != self.y.shape:
+            raise ValueError("new labels must match y's shape")
+        return LabeledDataset(self.x, new_y, true_y=self.true_y,
+                              ids=self.ids, name=name or self.name)
+
+    def class_counts(self, num_classes: Optional[int] = None) -> np.ndarray:
+        """Histogram of observed labels."""
+        n = num_classes or self.num_classes
+        return np.bincount(self.y, minlength=n)
+
+    def noise_mask(self) -> np.ndarray:
+        """Boolean mask of mislabelled samples (requires ``true_y``)."""
+        if self.true_y is None:
+            raise ValueError(f"dataset {self.name!r} has no ground truth")
+        return self.y != self.true_y
+
+    def noise_rate(self) -> float:
+        """Fraction of mislabelled samples (requires ``true_y``)."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.noise_mask().mean())
+
+
+class DataLoader:
+    """Mini-batch iterator over a :class:`LabeledDataset`.
+
+    Shuffling is driven by an explicit generator for reproducibility.
+    """
+
+    def __init__(self, dataset: LabeledDataset, batch_size: int = 64,
+                 shuffle: bool = True, drop_last: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = (self.rng.permutation(n) if self.shuffle
+                 else np.arange(n))
+        stop = (n - n % self.batch_size) if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            yield self.dataset.x[idx], self.dataset.y[idx]
+
+
+def train_test_split(dataset: LabeledDataset, test_fraction: float,
+                     rng: np.random.Generator,
+                     stratify: bool = False
+                     ) -> Tuple[LabeledDataset, LabeledDataset]:
+    """Split a dataset into train/test parts.
+
+    With ``stratify=True`` the split preserves per-class proportions.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(
+            f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(dataset)
+    if stratify:
+        test_idx: list = []
+        train_idx: list = []
+        for cls in np.unique(dataset.y):
+            cls_idx = np.nonzero(dataset.y == cls)[0]
+            cls_idx = rng.permutation(cls_idx)
+            cut = int(round(len(cls_idx) * test_fraction))
+            test_idx.extend(cls_idx[:cut])
+            train_idx.extend(cls_idx[cut:])
+        train_arr = np.array(sorted(train_idx))
+        test_arr = np.array(sorted(test_idx))
+    else:
+        order = rng.permutation(n)
+        cut = int(round(n * test_fraction))
+        test_arr = order[:cut]
+        train_arr = order[cut:]
+    return (dataset.subset(train_arr, name=f"{dataset.name}/train"),
+            dataset.subset(test_arr, name=f"{dataset.name}/test"))

@@ -1,0 +1,33 @@
+"""Weight initialisation schemes for ``repro.nn`` layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(shape, fan_in: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation suited for ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero initialisation (biases, norm shifts)."""
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    """All-one initialisation (norm scales)."""
+    return np.ones(shape)

@@ -1,0 +1,297 @@
+"""Stateful neural-network layers (modules) for ``repro.nn``.
+
+The module system mirrors the familiar torch-style API at a small
+scale: every layer derives from :class:`Module`, exposes
+``parameters()`` for optimisers, a ``train()``/``eval()`` mode switch,
+and a ``__call__``/``forward`` contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.training: bool = True
+
+    # -- parameter / submodule discovery --------------------------------
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors of this module and its children."""
+        params: List[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            params.extend(self._collect(value, seen))
+        return params
+
+    @staticmethod
+    def _collect(value, seen: set) -> List[Tensor]:
+        out: List[Tensor] = []
+        if isinstance(value, Tensor) and value.requires_grad:
+            if id(value) not in seen:
+                seen.add(id(value))
+                out.append(value)
+        elif isinstance(value, Module):
+            for p in value.parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    out.append(p)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                out.extend(Module._collect(item, seen))
+        return out
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all nested submodules."""
+        yield self
+        for value in self.__dict__.values():
+            yield from self._child_modules(value)
+
+    @staticmethod
+    def _child_modules(value) -> Iterator["Module"]:
+        if isinstance(value, Module):
+            yield from value.modules()
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                yield from Module._child_modules(item)
+
+    # -- train / eval ----------------------------------------------------
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    # -- gradient management ----------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict ---------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter and buffer arrays, copied."""
+        state: Dict[str, np.ndarray] = {}
+        self._fill_state("", state)
+        return state
+
+    def _fill_state(self, prefix: str, state: Dict[str, np.ndarray]) -> None:
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor):
+                state[key] = value.data.copy()
+            elif isinstance(value, Module):
+                value._fill_state(key + ".", state)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._fill_state(f"{key}.{i}.", state)
+                    elif isinstance(item, Tensor):
+                        state[f"{key}.{i}"] = item.data.copy()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict)."""
+        own = {}
+        self._fill_refs("", own)
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}")
+        for key, tensor in own.items():
+            src = np.asarray(state[key])
+            if src.shape != tensor.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: "
+                    f"{src.shape} vs {tensor.data.shape}")
+            tensor.data = src.astype(tensor.data.dtype).copy()
+
+    def _fill_refs(self, prefix: str, refs: Dict[str, Tensor]) -> None:
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor):
+                refs[key] = value
+            elif isinstance(value, Module):
+                value._fill_refs(key + ".", refs)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._fill_refs(f"{key}.{i}.", refs)
+                    elif isinstance(item, Tensor):
+                        refs[f"{key}.{i}"] = item
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- forward -----------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            init.kaiming_uniform((out_features, in_features), in_features, rng),
+            requires_grad=True, name="linear.weight")
+        self.bias = (Tensor(init.zeros(out_features), requires_grad=True,
+                            name="linear.bias") if bias else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    """2-D convolution layer over NCHW input."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            init.kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in, rng),
+            requires_grad=True, name="conv.weight")
+        self.bias = (Tensor(init.zeros(out_channels), requires_grad=True,
+                            name="conv.bias") if bias else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+
+class ReLU(Module):
+    """Rectified linear unit activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit RNG for reproducibility."""
+
+    def __init__(self, p: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the feature axis of (N, F) input."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Tensor(init.ones(num_features), requires_grad=True,
+                            name="bn.gamma")
+        self.beta = Tensor(init.zeros(num_features), requires_grad=True,
+                           name="bn.beta")
+        # Running statistics are buffers, not parameters.
+        self.running_mean = Tensor(init.zeros(num_features))
+        self.running_var = Tensor(init.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, F), got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            m = self.momentum
+            self.running_mean.data = (
+                (1 - m) * self.running_mean.data + m * mean.data.ravel())
+            self.running_var.data = (
+                (1 - m) * self.running_var.data + m * var.data.ravel())
+            norm = (x - mean) / (var + self.eps) ** 0.5
+        else:
+            norm = ((x - Tensor(self.running_mean.data))
+                    / Tensor(np.sqrt(self.running_var.data + self.eps)))
+        return norm * self.gamma + self.beta
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Tensor(init.ones(num_features), requires_grad=True)
+        self.beta = Tensor(init.zeros(num_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        norm = (x - mean) / (var + self.eps) ** 0.5
+        return norm * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Run layers in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

@@ -1,0 +1,73 @@
+"""Loss functions for ``repro.nn``.
+
+Includes the universal cross-entropy used throughout the paper (§V-A6)
+and the soft-target variant required by Mixup training (§IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Cross-entropy between ``logits`` and integer ``labels``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(N, L)``.
+    labels:
+        Integer array of shape ``(N,)``.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"labels shape {labels.shape} incompatible with logits "
+            f"{logits.shape}")
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(len(labels)), labels]
+    return _reduce(-picked, reduction)
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray,
+                       reduction: str = "mean") -> Tensor:
+    """Cross-entropy against a soft target distribution.
+
+    Used for Mixup, where the target is a convex combination of two
+    one-hot vectors (Eq. 2 of the paper).
+    """
+    target = np.asarray(target_probs, dtype=np.float64)
+    if target.shape != logits.shape:
+        raise ValueError(
+            f"target shape {target.shape} must match logits {logits.shape}")
+    log_probs = F.log_softmax(logits, axis=1)
+    losses = -(log_probs * Tensor(target)).sum(axis=1)
+    return _reduce(losses, reduction)
+
+
+def mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray],
+             reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target_t
+    losses = (diff * diff).sum(axis=tuple(range(1, pred.ndim))) \
+        if pred.ndim > 1 else diff * diff
+    return _reduce(losses, reduction)
+
+
+def _reduce(losses: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError(f"unknown reduction {reduction!r}")

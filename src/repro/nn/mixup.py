@@ -1,0 +1,40 @@
+"""Mixup augmentation (Zhang et al., 2018) as used by ENLD's model init.
+
+Paper §IV-B: the general model is trained on ``I_t`` with Mixup,
+``λ ~ Beta(α, α)``, ``α = 0.2`` (Eq. 1 and Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .functional import one_hot
+
+DEFAULT_ALPHA = 0.2
+
+
+def mixup_batch(x: np.ndarray, y: np.ndarray, num_classes: int,
+                rng: np.random.Generator,
+                alpha: float = DEFAULT_ALPHA
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Mix a batch with a random permutation of itself.
+
+    Returns
+    -------
+    mixed_x:
+        ``λ x_i + (1-λ) x_j`` per Eq. 1 (single λ per batch, the common
+        implementation of the original paper).
+    mixed_targets:
+        Soft targets ``λ y_i + (1-λ) y_j`` per Eq. 2, one-hot mixed, of
+        shape ``(N, num_classes)``.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    lam = float(rng.beta(alpha, alpha))
+    perm = rng.permutation(len(x))
+    mixed_x = lam * x + (1.0 - lam) * x[perm]
+    targets = one_hot(y, num_classes)
+    mixed_targets = lam * targets + (1.0 - lam) * targets[perm]
+    return mixed_x, mixed_targets

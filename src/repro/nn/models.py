@@ -1,0 +1,288 @@
+"""Model zoo for the ENLD reproduction.
+
+Every model is a :class:`Classifier` exposing the two views ENLD needs
+(paper Table I):
+
+- ``M(x, θ)``  — softmax confidences, via :meth:`Classifier.predict_proba`;
+- ``M̂(x, θ)`` — penultimate feature representation, via
+  :meth:`Classifier.features`.
+
+The registry maps the paper's architecture names to CPU-tractable
+analogs (see DESIGN.md):
+
+- ``"resnet110"``  → residual MLP with 18 residual blocks;
+- ``"resnet164"``  → residual MLP with 27 residual blocks;
+- ``"densenet121"``→ densely connected MLP, 3 dense blocks;
+- ``"smallconv"``  → a genuine convolutional network (for image input);
+- ``"mlp"``        → a plain 2-hidden-layer baseline MLP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from . import functional as F
+from .blocks import (DenseMLPBlock, ResidualConvBlock, ResidualMLPBlock,
+                     TransitionMLP)
+from .layers import (BatchNorm1d, Conv2d, Flatten, Linear, Module, ReLU,
+                     Sequential)
+from .tensor import Tensor
+
+
+class Classifier(Module):
+    """A classifier with an explicit feature extractor and linear head.
+
+    Subclasses implement :meth:`forward_features`; the final logits are
+    always produced by the linear ``head`` so that the penultimate
+    representation is well defined.
+    """
+
+    def __init__(self, feature_dim: int, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.feature_dim = feature_dim
+        self.num_classes = num_classes
+        self.head = Linear(feature_dim, num_classes, rng=rng)
+
+    def forward_features(self, x: Tensor) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.forward_features(x))
+
+    # ------------------------------------------------------------------
+    # Inference helpers (numpy in / numpy out, batched, eval mode)
+    # ------------------------------------------------------------------
+    def _batched(self, x: np.ndarray, fn: Callable[[Tensor], Tensor],
+                 batch_size: int) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        outs: List[np.ndarray] = []
+        try:
+            for start in range(0, len(x), batch_size):
+                batch = Tensor(x[start:start + batch_size])
+                outs.append(fn(batch).data)
+        finally:
+            if was_training:
+                self.train()
+        return np.concatenate(outs, axis=0) if outs else np.empty((0,))
+
+    def predict_logits(self, x: np.ndarray,
+                       batch_size: int = 256) -> np.ndarray:
+        """Raw class scores for each row of ``x``."""
+        return self._batched(x, self.forward, batch_size)
+
+    def predict_proba(self, x: np.ndarray,
+                      batch_size: int = 256) -> np.ndarray:
+        """Softmax confidences ``M(x, θ)`` for each row of ``x``."""
+        logits = self.predict_logits(x, batch_size)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted labels ``argmax M(x, θ)``."""
+        return self.predict_logits(x, batch_size).argmax(axis=1)
+
+    def features(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Penultimate representation ``M̂(x, θ)`` for each row of ``x``."""
+        return self._batched(x, self.forward_features, batch_size)
+
+
+class MLPClassifier(Classifier):
+    """Plain feed-forward classifier with two hidden layers."""
+
+    def __init__(self, in_features: int, num_classes: int,
+                 hidden: int = 128,
+                 rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng()
+        super().__init__(hidden, num_classes, rng=rng)
+        self.body = Sequential(
+            Linear(in_features, hidden, rng=rng), ReLU(),
+            Linear(hidden, hidden, rng=rng), ReLU(),
+        )
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.body(x)
+
+
+class ResNetMLP(Classifier):
+    """Residual MLP — the reproduction analog of ResNet-110/164."""
+
+    def __init__(self, in_features: int, num_classes: int,
+                 width: int = 96, num_blocks: int = 18,
+                 use_norm: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng()
+        super().__init__(width, num_classes, rng=rng)
+        self.stem = Linear(in_features, width, rng=rng)
+        self.blocks = [ResidualMLPBlock(width, rng=rng, use_norm=use_norm)
+                       for _ in range(num_blocks)]
+        self.final_norm = BatchNorm1d(width) if use_norm else None
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        h = self.stem(x)
+        for block in self.blocks:
+            h = block(h)
+        if self.final_norm is not None:
+            h = self.final_norm(h)
+        return h.relu()
+
+
+class DenseNetMLP(Classifier):
+    """Densely connected MLP — the reproduction analog of DenseNet-121."""
+
+    def __init__(self, in_features: int, num_classes: int,
+                 width: int = 64, growth: int = 16,
+                 block_layers: tuple = (4, 4, 4),
+                 rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng()
+        self._rng = rng
+        blocks: List[Module] = []
+        w = width
+        for i, n_layers in enumerate(block_layers):
+            dense = DenseMLPBlock(w, growth, n_layers, rng=rng)
+            blocks.append(dense)
+            w = dense.out_width
+            if i < len(block_layers) - 1:
+                w_out = max(width, w // 2)
+                blocks.append(TransitionMLP(w, w_out, rng=rng))
+                w = w_out
+        super().__init__(w, num_classes, rng=rng)
+        self.stem = Linear(in_features, width, rng=rng)
+        self.blocks = blocks
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        h = self.stem(x)
+        for block in self.blocks:
+            h = block(h)
+        return h.relu()
+
+
+class SmallConvNet(Classifier):
+    """A genuine convolutional classifier for NCHW image input.
+
+    Used to exercise the Conv2d/pooling substrate on real image-shaped
+    tensors; far smaller than ResNet-110 so that CPU runs stay feasible.
+    """
+
+    def __init__(self, in_shape: tuple, num_classes: int,
+                 channels: int = 16,
+                 rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng()
+        c, h, w = in_shape
+        if h % 4 or w % 4:
+            raise ValueError(f"spatial dims must be divisible by 4, got {in_shape}")
+        super().__init__(channels * 2, num_classes, rng=rng)
+        self.in_shape = in_shape
+        self.conv1 = Conv2d(c, channels, 3, padding=1, rng=rng)
+        self.res1 = ResidualConvBlock(channels, rng=rng)
+        self.conv2 = Conv2d(channels, channels * 2, 3, padding=1, rng=rng)
+        self.res2 = ResidualConvBlock(channels * 2, rng=rng)
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        if x.ndim == 2:
+            x = x.reshape(x.shape[0], *self.in_shape)
+        h = self.conv1(x).relu()
+        h = F.max_pool2d(h, 2)
+        h = self.res1(h)
+        h = self.conv2(h).relu()
+        h = F.max_pool2d(h, 2)
+        h = self.res2(h)
+        return F.global_avg_pool2d(h).relu()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[..., Classifier]] = {}
+
+
+def register_model(name: str):
+    """Decorator adding a model factory to the registry."""
+
+    def wrap(factory: Callable[..., Classifier]):
+        if name in _REGISTRY:
+            raise KeyError(f"model {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+@register_model("mlp")
+def _build_mlp(in_features: int, num_classes: int, rng=None, **kw) -> Classifier:
+    return MLPClassifier(in_features, num_classes, rng=rng, **kw)
+
+
+@register_model("resnet110")
+def _build_resnet110(in_features: int, num_classes: int, rng=None,
+                     **kw) -> Classifier:
+    kw.setdefault("num_blocks", 18)
+    return ResNetMLP(in_features, num_classes, rng=rng, **kw)
+
+
+@register_model("resnet164")
+def _build_resnet164(in_features: int, num_classes: int, rng=None,
+                     **kw) -> Classifier:
+    kw.setdefault("num_blocks", 27)
+    return ResNetMLP(in_features, num_classes, rng=rng, **kw)
+
+
+@register_model("densenet121")
+def _build_densenet121(in_features: int, num_classes: int, rng=None,
+                       **kw) -> Classifier:
+    return DenseNetMLP(in_features, num_classes, rng=rng, **kw)
+
+
+@register_model("smallconv")
+def _build_smallconv(in_features: int, num_classes: int, rng=None,
+                     in_shape=None, **kw) -> Classifier:
+    """Convolutional classifier; infers a square 1-channel shape when
+    ``in_shape`` is not given."""
+    if in_shape is None:
+        side = int(round(np.sqrt(in_features)))
+        if side * side != in_features:
+            raise ValueError(
+                "smallconv needs in_shape=(C, H, W) for non-square input "
+                f"of {in_features} features")
+        in_shape = (1, side, side)
+    return SmallConvNet(tuple(in_shape), num_classes, rng=rng, **kw)
+
+
+@register_model("tinyresnet")
+def _build_tinyresnet(in_features: int, num_classes: int, rng=None,
+                      **kw) -> Classifier:
+    """A 4-block residual MLP used by the fast benchmark presets."""
+    kw.setdefault("num_blocks", 4)
+    kw.setdefault("width", 64)
+    return ResNetMLP(in_features, num_classes, rng=rng, **kw)
+
+
+def available_models() -> List[str]:
+    """Names of all registered model factories."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, in_features: int, num_classes: int,
+                rng: Optional[np.random.Generator] = None,
+                **kwargs) -> Classifier:
+    """Instantiate a registered model by name.
+
+    Raises ``KeyError`` listing available names when ``name`` is unknown.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}")
+    return factory(in_features, num_classes, rng=rng, **kwargs)

@@ -1,0 +1,47 @@
+"""Model checkpoint save/load helpers.
+
+Checkpoints are plain ``.npz`` archives of the model's state dict, so
+they stay dependency-free and portable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+_META_KEY = "__repro_checkpoint__"
+
+
+def save_checkpoint(model: Module, path: str) -> None:
+    """Persist the model's parameters and buffers to ``path`` (.npz)."""
+    state = model.state_dict()
+    state[_META_KEY] = np.array([1])  # format version marker
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_checkpoint(model: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {
+            k: archive[k] for k in archive.files if k != _META_KEY}
+        if _META_KEY not in archive.files:
+            raise ValueError(f"{path} is not a repro checkpoint")
+    model.load_state_dict(state)
+
+
+def clone_module(model: Module) -> Module:
+    """Deep-copy a module, including parameters and training mode."""
+    import copy
+
+    return copy.deepcopy(model)
+
+
+def copy_into(src: Module, dst: Module) -> None:
+    """Copy ``src``'s parameters/buffers into ``dst`` (same architecture)."""
+    dst.load_state_dict(src.state_dict())

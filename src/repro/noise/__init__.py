@@ -1,0 +1,13 @@
+"""``repro.noise`` — label-noise models and injection utilities."""
+
+from .injector import (MISSING_LABEL, corrupt_labels, drop_labels,
+                       instance_dependent_noise, observed_noise_rate)
+from .transition import (block_asymmetric, expected_noise_rate, identity,
+                         pair_asymmetric, symmetric, validate_transition)
+
+__all__ = [
+    "pair_asymmetric", "symmetric", "block_asymmetric", "identity",
+    "validate_transition", "expected_noise_rate",
+    "corrupt_labels", "drop_labels", "observed_noise_rate",
+    "instance_dependent_noise", "MISSING_LABEL",
+]

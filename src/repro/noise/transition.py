@@ -1,0 +1,101 @@
+"""Label-noise transition matrices.
+
+A transition matrix ``T`` has entries ``T[i, j] = P(ỹ = j | y* = i)``:
+the probability that a sample whose true label is ``i`` is observed
+with label ``j`` (paper §III-A).  Every row must sum to one.
+
+The paper's experiments use *pair asymmetric* noise (§V-A2):
+``T[i, i] = 1 - η`` and ``T[i, (i+1) mod L] = η``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def validate_transition(matrix: np.ndarray, atol: float = 1e-8) -> np.ndarray:
+    """Check that ``matrix`` is a row-stochastic square matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"transition matrix must be square, got {matrix.shape}")
+    if (matrix < -atol).any():
+        raise ValueError("transition matrix has negative entries")
+    row_sums = matrix.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=atol):
+        bad = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise ValueError(
+            f"row {bad} of transition matrix sums to {row_sums[bad]:.6f}")
+    return matrix
+
+
+def pair_asymmetric(num_classes: int, noise_rate: float) -> np.ndarray:
+    """Pair noise: class ``i`` flips to ``(i+1) mod L`` with prob ``η``."""
+    _check_rate(noise_rate)
+    if num_classes < 2:
+        raise ValueError("pair noise needs at least 2 classes")
+    matrix = np.eye(num_classes) * (1.0 - noise_rate)
+    for i in range(num_classes):
+        matrix[i, (i + 1) % num_classes] += noise_rate
+    return validate_transition(matrix)
+
+
+def symmetric(num_classes: int, noise_rate: float) -> np.ndarray:
+    """Uniform noise: flips to every other class with equal probability."""
+    _check_rate(noise_rate)
+    if num_classes < 2:
+        raise ValueError("symmetric noise needs at least 2 classes")
+    off = noise_rate / (num_classes - 1)
+    matrix = np.full((num_classes, num_classes), off)
+    np.fill_diagonal(matrix, 1.0 - noise_rate)
+    return validate_transition(matrix)
+
+
+def block_asymmetric(num_classes: int, noise_rate: float,
+                     block_size: int = 5,
+                     rng: np.random.Generator | None = None) -> np.ndarray:
+    """Asymmetric noise confined to random blocks of similar classes.
+
+    A harsher, more structured variant used by the extension benches:
+    within each block of ``block_size`` consecutive classes, noise mass
+    is spread over the other block members with random (fixed) weights.
+    """
+    _check_rate(noise_rate)
+    rng = rng or np.random.default_rng(0)
+    matrix = np.eye(num_classes) * (1.0 - noise_rate)
+    for i in range(num_classes):
+        block_start = (i // block_size) * block_size
+        members = [j for j in range(block_start,
+                                    min(block_start + block_size, num_classes))
+                   if j != i]
+        if not members:
+            matrix[i, i] += noise_rate
+            continue
+        weights = rng.dirichlet(np.ones(len(members)))
+        for j, w in zip(members, weights):
+            matrix[i, j] += noise_rate * w
+    return validate_transition(matrix)
+
+
+def identity(num_classes: int) -> np.ndarray:
+    """The no-noise transition matrix."""
+    return np.eye(num_classes)
+
+
+def expected_noise_rate(matrix: np.ndarray,
+                        class_prior: np.ndarray | None = None) -> float:
+    """Overall expected mislabel fraction under ``matrix``.
+
+    ``class_prior`` defaults to uniform.
+    """
+    matrix = validate_transition(matrix)
+    n = matrix.shape[0]
+    prior = (np.full(n, 1.0 / n) if class_prior is None
+             else np.asarray(class_prior, dtype=np.float64))
+    if prior.shape != (n,):
+        raise ValueError("class_prior shape mismatch")
+    return float(np.sum(prior * (1.0 - np.diag(matrix))))
+
+
+def _check_rate(noise_rate: float) -> None:
+    if not 0.0 <= noise_rate < 1.0:
+        raise ValueError(f"noise rate must be in [0, 1), got {noise_rate}")

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate, toy
+from repro.nn.data import LabeledDataset
+from repro.nn.models import MLPClassifier
+from repro.nn.train import fit
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blobs():
+    """Three well-separated Gaussian blobs in 5-D, 60 samples each."""
+    gen = np.random.default_rng(0)
+    x = np.concatenate([gen.normal((i - 1) * 4.0, 1.0, size=(60, 5))
+                        for i in range(3)])
+    y = np.repeat(np.arange(3), 60)
+    return LabeledDataset(x, y, true_y=y.copy(), name="blobs")
+
+
+@pytest.fixture
+def toy_dataset():
+    """The standard toy synthetic dataset (6 classes, 40/class)."""
+    return generate(toy(), seed=11)
+
+
+@pytest.fixture
+def trained_blob_model(blobs):
+    """A small MLP trained to high accuracy on the blob data."""
+    gen = np.random.default_rng(1)
+    model = MLPClassifier(5, 3, hidden=32, rng=gen)
+    fit(model, blobs, epochs=12, rng=gen, lr=0.05)
+    return model

@@ -1,0 +1,70 @@
+"""API-quality gates: documentation and export hygiene.
+
+These tests enforce the library's public-API contract: every public
+module, class and function carries a docstring, and every name listed
+in an ``__all__`` actually resolves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro", "repro.nn", "repro.datasets", "repro.noise",
+            "repro.index", "repro.datalake", "repro.core",
+            "repro.baselines", "repro.eval", "repro.experiments"]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name.startswith("_"):
+                continue
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home module
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: {undocumented}")
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    if exported is None:
+        pytest.skip(f"{package_name} has no __all__")
+    missing = [name for name in exported if not hasattr(package, name)]
+    assert not missing, f"{package_name}.__all__ lists missing: {missing}"
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)

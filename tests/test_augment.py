@@ -1,0 +1,112 @@
+"""Tests for repro.nn.augment (batch augmentation pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.augment import (compose, cutout, gaussian_jitter, random_hflip,
+                              random_shift)
+
+
+def images(n=6, c=2, h=8, w=8, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, c, h, w))
+
+
+class TestRandomShift:
+    def test_shape_preserved(self, rng):
+        out = random_shift(2)(images(), rng)
+        assert out.shape == (6, 2, 8, 8)
+
+    def test_zero_shift_identity(self, rng):
+        out = random_shift(0)(images(), rng)
+        assert np.array_equal(out, images())
+
+    def test_mass_never_increases(self, rng):
+        batch = np.abs(images())
+        out = random_shift(3)(batch, rng)
+        assert np.abs(out).sum() <= np.abs(batch).sum() + 1e-9
+
+    def test_rejects_flat(self, rng):
+        with pytest.raises(ValueError):
+            random_shift(1)(np.zeros((2, 16)), rng)
+
+    def test_negative_max_rejected(self):
+        with pytest.raises(ValueError):
+            random_shift(-1)
+
+
+class TestHFlip:
+    def test_always_flip(self, rng):
+        batch = images()
+        out = random_hflip(1.0)(batch, rng)
+        assert np.array_equal(out, batch[:, :, :, ::-1])
+
+    def test_never_flip(self, rng):
+        batch = images()
+        out = random_hflip(0.0)(batch, rng)
+        assert np.array_equal(out, batch)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_hflip(1.5)
+
+    def test_input_not_mutated(self, rng):
+        batch = images()
+        copy = batch.copy()
+        random_hflip(1.0)(batch, rng)
+        assert np.array_equal(batch, copy)
+
+
+class TestJitter:
+    def test_zero_sigma_identity(self, rng):
+        batch = images()
+        assert gaussian_jitter(0.0)(batch, rng) is batch
+
+    def test_noise_scale(self, rng):
+        batch = np.zeros((100, 1, 4, 4))
+        out = gaussian_jitter(0.5)(batch, rng)
+        assert abs(out.std() - 0.5) < 0.05
+
+    def test_works_on_flat(self, rng):
+        out = gaussian_jitter(0.1)(np.zeros((5, 20)), rng)
+        assert out.shape == (5, 20)
+
+    def test_negative_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_jitter(-0.1)
+
+
+class TestCutout:
+    def test_zeroes_a_patch(self, rng):
+        batch = np.ones((4, 1, 8, 8))
+        out = cutout(3)(batch, rng)
+        zeros_per_sample = (out == 0).reshape(4, -1).sum(axis=1)
+        assert (zeros_per_sample == 9).all()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            cutout(0)
+
+
+class TestCompose:
+    def test_chains_in_order(self, rng):
+        batch = np.ones((3, 1, 8, 8))
+        pipeline = compose([cutout(2), gaussian_jitter(0.0)])
+        out = pipeline(batch, rng)
+        assert (out == 0).any()
+
+    def test_flat_roundtrip(self, rng):
+        flat = np.ones((5, 64))
+        pipeline = compose([random_hflip(1.0)], image_shape=(1, 8, 8))
+        out = pipeline(flat, rng)
+        assert out.shape == (5, 64)
+        assert np.array_equal(out, flat)  # flipping ones is identity
+
+    def test_training_with_augmentation(self, blobs, rng):
+        """fit() accepts an augment_fn and still learns."""
+        from repro.nn.models import MLPClassifier
+        from repro.nn.train import fit
+        from repro.nn.metrics import evaluate_accuracy
+        model = MLPClassifier(5, 3, hidden=16, rng=rng)
+        fit(model, blobs, epochs=8, rng=rng, lr=0.05,
+            augment_fn=gaussian_jitter(0.05))
+        assert evaluate_accuracy(model, blobs) > 0.85

@@ -1,0 +1,126 @@
+"""Tests for repro.index.balltree and backend interchangeability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.index.balltree import BallTree
+from repro.index.classindex import BACKENDS, ClassFeatureIndex
+from repro.index.kdtree import KDTree, brute_force_knn
+
+point_clouds = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 60), st.integers(1, 8)),
+    elements=st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False))
+
+
+class TestBallTreeBasics:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            BallTree(np.zeros(5))
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            BallTree(np.zeros((3, 2)), leaf_size=0)
+
+    def test_empty_tree(self):
+        d, i = BallTree(np.zeros((0, 3))).query(np.zeros(3), k=2)
+        assert d.size == 0 and i.size == 0
+
+    def test_len(self):
+        assert len(BallTree(np.zeros((7, 2)))) == 7
+
+    def test_k_larger_than_n(self):
+        pts = np.arange(6.0).reshape(3, 2)
+        _, i = BallTree(pts).query(np.zeros(2), k=10)
+        assert len(i) == 3
+
+    def test_invalid_k_and_dim(self):
+        tree = BallTree(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(2), k=0)
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(3))
+
+    def test_exact_match_first(self):
+        pts = np.random.default_rng(0).normal(size=(60, 5))
+        d, i = BallTree(pts).query(pts[33], k=1)
+        assert i[0] == 33 and np.isclose(d[0], 0.0)
+
+    def test_duplicates(self):
+        pts = np.zeros((12, 3))
+        d, i = BallTree(pts).query(np.zeros(3), k=4)
+        assert len(i) == 4 and np.allclose(d, 0.0)
+
+    def test_sorted_output(self):
+        pts = np.random.default_rng(1).normal(size=(100, 4))
+        d, _ = BallTree(pts).query(np.zeros(4), k=9)
+        assert np.all(np.diff(d) >= -1e-12)
+
+
+class TestBallTreeCorrectness:
+    @given(point_clouds, st.integers(1, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, pts, k):
+        tree = BallTree(pts, leaf_size=4)
+        q = pts.mean(axis=0) + 0.3
+        d_tree, _ = tree.query(q, k=k)
+        d_bf, _ = brute_force_knn(pts, q, k)
+        assert np.allclose(np.sort(d_tree), np.sort(d_bf), atol=1e-9)
+
+    def test_matches_kdtree_high_dim(self):
+        """In the 64-dim regime ENLD actually uses."""
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(400, 64))
+        ball = BallTree(pts)
+        kd = KDTree(pts)
+        for _ in range(10):
+            q = rng.normal(size=64)
+            d_b, _ = ball.query(q, k=5)
+            d_k, _ = kd.query(q, k=5)
+            assert np.allclose(d_b, d_k)
+
+    def test_query_batch(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(50, 3))
+        queries = rng.normal(size=(8, 3))
+        dists, idx = BallTree(pts).query_batch(queries, k=3)
+        assert dists.shape == (8, 3)
+        for row, q in enumerate(queries):
+            d_b, _ = brute_force_knn(pts, q, 3)
+            assert np.allclose(dists[row], d_b)
+
+    def test_query_batch_rejects_1d(self):
+        with pytest.raises(ValueError):
+            BallTree(np.zeros((4, 2))).query_batch(np.zeros(2))
+
+
+class TestBackendInterchangeability:
+    def test_backends_listed(self):
+        assert set(BACKENDS) == {"kdtree", "balltree", "brute"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ClassFeatureIndex(np.zeros((2, 2)), np.zeros(2, dtype=int),
+                              backend="octree")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_backends_agree(self, backend):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(60, 16))
+        labels = np.repeat(np.arange(3), 20)
+        index = ClassFeatureIndex(features, labels, backend=backend)
+        reference = ClassFeatureIndex(features, labels, backend="brute")
+        q = rng.normal(size=16)
+        for cls in range(3):
+            d1, _ = index.query(q, cls, k=4)
+            d2, _ = reference.query(q, cls, k=4)
+            assert np.allclose(d1, d2), (backend, cls)
+
+    def test_legacy_use_kdtree_flag(self):
+        index = ClassFeatureIndex(np.zeros((2, 2)),
+                                  np.zeros(2, dtype=int),
+                                  use_kdtree=False)
+        assert index.backend == "brute"

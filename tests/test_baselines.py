@@ -1,0 +1,197 @@
+"""Tests for repro.baselines (Default, Confident Learning, Topofilter)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import NoisyLabelDetector
+from repro.baselines.confident_learning import (ConfidentLearningDetector,
+                                                class_thresholds,
+                                                confident_joint)
+from repro.baselines.default import DefaultDetector
+from repro.baselines.topofilter import (TopofilterDetector,
+                                        knn_graph_components)
+from repro.noise import MISSING_LABEL, corrupt_labels, pair_asymmetric
+from repro.nn.data import LabeledDataset
+
+
+@pytest.fixture(scope="module")
+def world():
+    gen = np.random.default_rng(7)
+    x = np.concatenate([gen.normal((i - 1) * 4.0, 1.0, size=(100, 5))
+                        for i in range(3)])
+    y = np.repeat(np.arange(3), 100)
+    order = gen.permutation(len(y))
+    full = LabeledDataset(x[order], y[order], true_y=y[order].copy())
+    inventory = corrupt_labels(full.subset(np.arange(200), name="inv"),
+                               pair_asymmetric(3, 0.2), gen)
+    incoming = corrupt_labels(full.subset(np.arange(200, 300), name="D"),
+                              pair_asymmetric(3, 0.3), gen)
+    from repro.nn.models import MLPClassifier
+    from repro.nn.train import fit
+    model = MLPClassifier(5, 3, hidden=32, rng=gen)
+    fit(model, inventory, epochs=15, rng=gen, lr=0.05)
+    return {"model": model, "inventory": inventory, "incoming": incoming}
+
+
+class TestDefault:
+    def test_flags_disagreements(self, world):
+        det = DefaultDetector(world["model"])
+        result = det.detect(world["incoming"])
+        preds = world["model"].predict(world["incoming"].flat_x())
+        expected = preds != world["incoming"].y
+        assert np.array_equal(result.noisy_mask, expected)
+
+    def test_reasonable_quality(self, world):
+        from repro.eval.metrics import score_detection
+        result = DefaultDetector(world["model"]).detect(world["incoming"])
+        assert score_detection(result, world["incoming"]).f1 > 0.6
+
+    def test_timed_and_named(self, world):
+        result = DefaultDetector(world["model"]).detect(world["incoming"])
+        assert result.process_seconds >= 0
+        assert result.detector_name == "default"
+
+    def test_missing_labels_excluded(self, world):
+        d = world["incoming"]
+        y = d.y.copy()
+        y[:10] = MISSING_LABEL
+        with_missing = LabeledDataset(d.x, y, true_y=d.true_y)
+        result = DefaultDetector(world["model"]).detect(with_missing)
+        assert not result.noisy_mask[:10].any()
+        assert not result.clean_mask[:10].any()
+
+
+class TestThresholdsAndJoint:
+    def test_class_thresholds(self):
+        probs = np.array([[0.9, 0.1], [0.7, 0.3], [0.2, 0.8]])
+        labels = np.array([0, 0, 1])
+        t = class_thresholds(probs, labels, 2)
+        assert np.isclose(t[0], 0.8)
+        assert np.isclose(t[1], 0.8)
+
+    def test_empty_class_threshold_inf(self):
+        t = class_thresholds(np.array([[1.0, 0.0]]), np.array([0]), 2)
+        assert np.isinf(t[1])
+
+    def test_confident_joint_counts(self):
+        probs = np.array([[0.9, 0.1],   # confidently class 0
+                          [0.1, 0.9],   # confidently class 1
+                          [0.5, 0.5]])  # below both thresholds
+        labels = np.array([0, 0, 1])
+        joint = confident_joint(probs, labels, np.array([0.8, 0.8]))
+        assert joint[0, 0] == 1   # labeled 0, predicted 0
+        assert joint[0, 1] == 1   # labeled 0, confidently 1 → noise!
+        assert joint.sum() == 2   # ambiguous sample not counted
+
+    def test_joint_total_bounded(self):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(4), size=100)
+        labels = rng.integers(0, 4, size=100)
+        t = class_thresholds(probs, labels, 4)
+        joint = confident_joint(probs, labels, t)
+        assert joint.sum() <= 100
+
+
+class TestConfidentLearning:
+    def test_invalid_method(self, world):
+        with pytest.raises(ValueError):
+            ConfidentLearningDetector(world["model"], world["inventory"],
+                                      method="prune_everything")
+
+    @pytest.mark.parametrize("method", ["prune_by_class",
+                                        "prune_by_noise_rate"])
+    def test_detects_noise(self, world, method):
+        from repro.eval.metrics import score_detection
+        det = ConfidentLearningDetector(world["model"], world["inventory"],
+                                        method=method)
+        result = det.detect(world["incoming"])
+        score = score_detection(result, world["incoming"])
+        assert score.f1 > 0.5
+
+    def test_names_differ(self, world):
+        a = ConfidentLearningDetector(world["model"], world["inventory"],
+                                      method="prune_by_class")
+        b = ConfidentLearningDetector(world["model"], world["inventory"],
+                                      method="prune_by_noise_rate")
+        assert a.name != b.name
+
+    def test_clean_dataset_few_detections(self, world):
+        clean = world["incoming"].with_labels(world["incoming"].true_y)
+        det = ConfidentLearningDetector(world["model"], world["inventory"])
+        result = det.detect(clean)
+        assert result.noisy_mask.mean() < 0.15
+
+    def test_missing_labels_handled(self, world):
+        d = world["incoming"]
+        y = d.y.copy()
+        y[:15] = MISSING_LABEL
+        det = ConfidentLearningDetector(world["model"], world["inventory"])
+        result = det.detect(LabeledDataset(d.x, y, true_y=d.true_y))
+        assert not result.noisy_mask[:15].any()
+
+
+class TestKnnComponents:
+    def test_two_clusters_two_components(self):
+        a = np.random.default_rng(0).normal(0.0, 0.1, size=(10, 2))
+        b = np.random.default_rng(1).normal(10.0, 0.1, size=(10, 2))
+        comp = knn_graph_components(np.concatenate([a, b]), k=3)
+        # The two clusters never share a component.
+        assert set(comp[:10]) & set(comp[10:]) == set()
+        # Non-mutual graph links each tight cluster into one component.
+        loose = knn_graph_components(np.concatenate([a, b]), k=3,
+                                     mutual=False)
+        assert len(np.unique(loose[:10])) == 1
+        assert len(np.unique(loose[10:])) == 1
+
+    def test_isolated_point_separate(self):
+        cluster = np.random.default_rng(2).normal(0, 0.1, size=(12, 2))
+        outlier = np.array([[50.0, 50.0]])
+        comp = knn_graph_components(np.concatenate([cluster, outlier]), k=3,
+                                    mutual=True)
+        assert comp[-1] not in comp[:12]
+
+    def test_empty_and_single(self):
+        assert knn_graph_components(np.zeros((0, 2)), 3).size == 0
+        assert knn_graph_components(np.zeros((1, 2)), 3).size == 1
+
+    def test_non_mutual_more_connected(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(30, 2))
+        mutual = len(np.unique(knn_graph_components(pts, 2, mutual=True)))
+        loose = len(np.unique(knn_graph_components(pts, 2, mutual=False)))
+        assert loose <= mutual
+
+
+class TestTopofilter:
+    def test_detects_noise(self, world):
+        from repro.eval.metrics import score_detection
+        det = TopofilterDetector(world["inventory"], 3, model_name="mlp",
+                                 model_kwargs={"hidden": 32},
+                                 train_epochs=10, seed=1)
+        result = det.detect(world["incoming"])
+        score = score_detection(result, world["incoming"])
+        assert score.f1 > 0.5
+
+    def test_training_cost_recorded(self, world):
+        det = TopofilterDetector(world["inventory"], 3, model_name="mlp",
+                                 model_kwargs={"hidden": 16},
+                                 train_epochs=4, seed=1)
+        result = det.detect(world["incoming"])
+        # Trains on related inventory + arriving dataset for 4 epochs.
+        assert result.train_samples == 4 * (len(world["inventory"])
+                                            + len(world["incoming"]))
+
+    def test_missing_labels_excluded(self, world):
+        d = world["incoming"]
+        y = d.y.copy()
+        y[:10] = MISSING_LABEL
+        det = TopofilterDetector(world["inventory"], 3, model_name="mlp",
+                                 model_kwargs={"hidden": 16},
+                                 train_epochs=2, seed=1)
+        result = det.detect(LabeledDataset(d.x, y, true_y=d.true_y))
+        assert not result.noisy_mask[:10].any()
+
+    def test_is_detector_subclass(self, world):
+        det = TopofilterDetector(world["inventory"], 3)
+        assert isinstance(det, NoisyLabelDetector)
+        assert det.name == "topofilter"

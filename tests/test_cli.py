@@ -1,0 +1,61 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig5"])
+        assert args.figure == "fig5"
+        assert args.scale == "bench"
+        assert args.noise_rates is None
+
+    def test_run_noise_rates(self):
+        args = build_parser().parse_args(
+            ["run", "fig9", "--noise-rates", "0.1", "0.3"])
+        assert args.noise_rates == [0.1, 0.3]
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.dataset == "toy"
+        assert args.noise_rate == 0.2
+
+
+class TestCommands:
+    def test_list_figures(self, capsys):
+        assert main(["list-figures"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig3", "fig14", "table2"):
+            assert key in out
+
+    def test_run_unknown_figure(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_run_small_scale_to_file(self, tmp_path, capsys):
+        out_path = str(tmp_path / "result.json")
+        code = main(["run", "fig13b", "--scale", "small",
+                     "--noise-rates", "0.2", "--output", out_path])
+        assert code == 0
+        with open(out_path) as fh:
+            payload = json.load(fh)
+        assert "num_ambiguous" in payload
+
+    def test_run_small_scale_stdout(self, capsys):
+        assert main(["run", "fig13b", "--scale", "small",
+                     "--noise-rates", "0.2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "num_ambiguous" in payload
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--dataset", "toy", "--max-arrivals", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "f1=" in out

@@ -1,0 +1,158 @@
+"""Tests for repro.core.contrastive (Algorithm 2 and Corollaries 1–2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contrastive import (ContrastiveSample, contrastive_sampling,
+                                    expected_contrastive_distribution,
+                                    label_distribution, prob_class_absent)
+from repro.index.classindex import ClassFeatureIndex
+
+
+def make_index(n_classes=3, per_class=10, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    # Class c lives around c * 10 in every coordinate.
+    features = np.concatenate([
+        rng.normal(c * 10.0, 0.5, size=(per_class, dim))
+        for c in range(n_classes)])
+    labels = np.repeat(np.arange(n_classes), per_class)
+    return features, labels, ClassFeatureIndex(features, labels)
+
+
+class TestContrastiveSampling:
+    def test_returns_k_per_ambiguous_sample(self, rng):
+        features, labels, index = make_index()
+        amb_features = np.zeros((5, 4))
+        amb_labels = np.zeros(5, dtype=int)
+        out = contrastive_sampling(amb_features, amb_labels, index,
+                                   np.eye(3), k=3, rng=rng)
+        assert len(out) == 15
+
+    def test_identity_prob_selects_same_class(self, rng):
+        features, labels, index = make_index()
+        amb_features = np.full((4, 4), 10.0)  # near class 1
+        amb_labels = np.full(4, 1, dtype=int)
+        out = contrastive_sampling(amb_features, amb_labels, index,
+                                   np.eye(3), k=2, rng=rng)
+        assert (labels[out.indices] == 1).all()
+
+    def test_nearest_selection(self, rng):
+        features, labels, index = make_index()
+        query = features[labels == 2][0]
+        out = contrastive_sampling(query[None, :], np.array([2]), index,
+                                   np.eye(3), k=1, rng=rng)
+        # The single nearest class-2 sample to itself is itself.
+        assert out.indices[0] == np.nonzero(labels == 2)[0][0]
+
+    def test_probability_label_redirects_class(self, rng):
+        features, labels, index = make_index()
+        # Observed label 0 always truly class 2.
+        cond = np.array([[0.0, 0.0, 1.0],
+                         [0.0, 1.0, 0.0],
+                         [0.0, 0.0, 1.0]])
+        out = contrastive_sampling(np.zeros((6, 4)), np.zeros(6, dtype=int),
+                                   index, cond, k=2, rng=rng)
+        assert (labels[out.indices] == 2).all()
+        assert (out.target_labels == 2).all()
+
+    def test_enld4_mode_uses_observed_label(self, rng):
+        features, labels, index = make_index()
+        cond = np.array([[0.0, 0.0, 1.0],
+                         [0.0, 1.0, 0.0],
+                         [0.0, 0.0, 1.0]])
+        out = contrastive_sampling(np.zeros((6, 4)), np.zeros(6, dtype=int),
+                                   index, cond, k=2, rng=rng,
+                                   use_probability_label=False)
+        assert (labels[out.indices] == 0).all()
+
+    def test_empty_ambiguous_set(self, rng):
+        _, _, index = make_index()
+        out = contrastive_sampling(np.zeros((0, 4)),
+                                   np.zeros(0, dtype=int), index,
+                                   np.eye(3), k=3, rng=rng)
+        assert len(out) == 0
+
+    def test_empty_index(self, rng):
+        index = ClassFeatureIndex(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        out = contrastive_sampling(np.zeros((2, 4)), np.zeros(2, dtype=int),
+                                   index, np.eye(3), k=3, rng=rng)
+        assert len(out) == 0
+
+    def test_multiplicity_acts_as_weights(self, rng):
+        features, labels, index = make_index(per_class=2)
+        # Many ambiguous samples at the same spot → same neighbours
+        # repeatedly chosen.
+        out = contrastive_sampling(np.full((10, 4), 10.0),
+                                   np.ones(10, dtype=int), index,
+                                   np.eye(3), k=2, rng=rng)
+        uniq, counts = out.unique_counts()
+        assert counts.max() > 1
+        assert counts.sum() == len(out)
+
+    def test_alignment_check(self, rng):
+        _, _, index = make_index()
+        with pytest.raises(ValueError):
+            contrastive_sampling(np.zeros((2, 4)), np.zeros(3, dtype=int),
+                                 index, np.eye(3), k=1, rng=rng)
+
+
+class TestCorollaries:
+    def test_prob_class_absent_formula(self):
+        assert prob_class_absent(0.9, 3) == pytest.approx(0.1 ** 3)
+        assert prob_class_absent(1.0, 5) == 0.0
+        assert prob_class_absent(0.0, 5) == 1.0
+        assert prob_class_absent(0.5, 0) == 1.0
+
+    def test_prob_class_absent_validation(self):
+        with pytest.raises(ValueError):
+            prob_class_absent(1.5, 2)
+        with pytest.raises(ValueError):
+            prob_class_absent(0.5, -1)
+
+    @given(st.floats(0.01, 0.99), st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_prob_absent_decreases_with_count(self, p, n):
+        assert prob_class_absent(p, n + 1) <= prob_class_absent(p, n)
+
+    def test_corollary2_identity(self):
+        """With P̃ = identity, E(L(C)) equals L(A)."""
+        dist = np.array([0.5, 0.3, 0.2])
+        out = expected_contrastive_distribution(dist, np.eye(3))
+        assert np.allclose(out, dist)
+
+    def test_corollary2_total_probability(self):
+        cond = np.array([[0.7, 0.3], [0.1, 0.9]])
+        dist = np.array([4.0, 6.0])
+        out = expected_contrastive_distribution(dist, cond)
+        assert np.allclose(out.sum(), 1.0)
+        assert np.allclose(out, [0.4 * 0.7 + 0.6 * 0.1,
+                                 0.4 * 0.3 + 0.6 * 0.9])
+
+    def test_corollary2_matches_sampling(self):
+        """Empirical contrastive label distribution ≈ Corollary 2."""
+        rng = np.random.default_rng(0)
+        features, labels, index = make_index(per_class=30)
+        cond = np.array([[0.6, 0.2, 0.2],
+                         [0.1, 0.8, 0.1],
+                         [0.25, 0.25, 0.5]])
+        amb_labels = rng.integers(0, 3, size=3000)
+        amb_features = rng.normal(10.0, 5.0, size=(3000, 4))
+        out = contrastive_sampling(amb_features, amb_labels, index, cond,
+                                   k=1, rng=rng)
+        expected = expected_contrastive_distribution(
+            label_distribution(amb_labels, 3), cond)
+        empirical = label_distribution(out.target_labels, 3)
+        assert np.allclose(empirical, expected, atol=0.03)
+
+    def test_corollary2_validation(self):
+        with pytest.raises(ValueError):
+            expected_contrastive_distribution(np.zeros(3), np.eye(2))
+        with pytest.raises(ValueError):
+            expected_contrastive_distribution(np.zeros(2), np.eye(2))
+
+    def test_label_distribution(self):
+        out = label_distribution(np.array([0, 0, 2]), 3)
+        assert np.allclose(out, [2 / 3, 0, 1 / 3])
+        assert label_distribution(np.array([], dtype=int), 2).sum() == 0

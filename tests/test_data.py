@@ -1,0 +1,170 @@
+"""Tests for repro.nn.data (LabeledDataset, DataLoader, splits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.data import DataLoader, LabeledDataset, train_test_split
+
+
+def make_dataset(n=20, classes=4, seed=0):
+    gen = np.random.default_rng(seed)
+    x = gen.normal(size=(n, 3))
+    y = gen.integers(0, classes, size=n)
+    return LabeledDataset(x, y, true_y=y.copy(), name="t")
+
+
+class TestLabeledDataset:
+    def test_basic_properties(self):
+        ds = make_dataset(15, classes=4)
+        assert len(ds) == 15
+        assert ds.feature_dim == 3
+        assert ds.num_classes == int(ds.y.max()) + 1
+
+    def test_auto_ids_sequential(self):
+        ds = make_dataset(5)
+        assert np.array_equal(ds.ids, np.arange(5))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="1-D"):
+            LabeledDataset(np.zeros((2, 2)), np.zeros((2, 1), dtype=int))
+        with pytest.raises(ValueError, match="rows"):
+            LabeledDataset(np.zeros((3, 2)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError, match="true_y"):
+            LabeledDataset(np.zeros((2, 2)), np.zeros(2, dtype=int),
+                           true_y=np.zeros(3, dtype=int))
+        with pytest.raises(ValueError, match="ids"):
+            LabeledDataset(np.zeros((2, 2)), np.zeros(2, dtype=int),
+                           ids=np.zeros(3, dtype=int))
+
+    def test_subset_preserves_ids_and_truth(self):
+        ds = make_dataset(10)
+        sub = ds.subset([2, 5, 7])
+        assert np.array_equal(sub.ids, [2, 5, 7])
+        assert np.array_equal(sub.true_y, ds.true_y[[2, 5, 7]])
+
+    def test_mask_equivalent_to_subset(self):
+        ds = make_dataset(8)
+        mask = ds.y == ds.y[0]
+        assert np.array_equal(ds.mask(mask).ids,
+                              ds.subset(np.nonzero(mask)[0]).ids)
+
+    def test_mask_shape_check(self):
+        ds = make_dataset(4)
+        with pytest.raises(ValueError):
+            ds.mask(np.ones(5, dtype=bool))
+
+    def test_concat(self):
+        a, b = make_dataset(4, seed=1), make_dataset(6, seed=2)
+        c = a.concat(b)
+        assert len(c) == 10
+        assert np.array_equal(c.y, np.concatenate([a.y, b.y]))
+
+    def test_concat_drops_truth_if_either_missing(self):
+        a = make_dataset(3)
+        b = LabeledDataset(np.zeros((2, 3)), np.zeros(2, dtype=int))
+        assert a.concat(b).true_y is None
+
+    def test_with_labels(self):
+        ds = make_dataset(5)
+        new = ds.with_labels(np.zeros(5, dtype=int))
+        assert (new.y == 0).all()
+        assert np.array_equal(new.true_y, ds.true_y)  # truth kept
+        with pytest.raises(ValueError):
+            ds.with_labels(np.zeros(6, dtype=int))
+
+    def test_flat_x(self):
+        ds = LabeledDataset(np.zeros((4, 2, 3)), np.zeros(4, dtype=int))
+        assert ds.flat_x().shape == (4, 6)
+
+    def test_class_counts(self):
+        ds = LabeledDataset(np.zeros((5, 1)), np.array([0, 0, 1, 2, 2]))
+        assert np.array_equal(ds.class_counts(), [2, 1, 2])
+        assert np.array_equal(ds.class_counts(num_classes=5), [2, 1, 2, 0, 0])
+
+    def test_labels_present(self):
+        ds = LabeledDataset(np.zeros((3, 1)), np.array([5, 1, 5]))
+        assert np.array_equal(ds.labels_present(), [1, 5])
+
+    def test_noise_mask_and_rate(self):
+        ds = LabeledDataset(np.zeros((4, 1)), np.array([0, 1, 1, 0]),
+                            true_y=np.array([0, 1, 0, 1]))
+        assert np.array_equal(ds.noise_mask(), [False, False, True, True])
+        assert ds.noise_rate() == 0.5
+
+    def test_noise_mask_requires_truth(self):
+        ds = LabeledDataset(np.zeros((2, 1)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError, match="ground truth"):
+            ds.noise_mask()
+
+    def test_empty_dataset_noise_rate(self):
+        ds = LabeledDataset(np.zeros((0, 1)), np.zeros(0, dtype=int),
+                            true_y=np.zeros(0, dtype=int))
+        assert ds.noise_rate() == 0.0
+
+
+class TestDataLoader:
+    def test_batch_count(self):
+        ds = make_dataset(10)
+        assert len(DataLoader(ds, batch_size=3)) == 4
+        assert len(DataLoader(ds, batch_size=3, drop_last=True)) == 3
+
+    def test_batches_cover_everything_unshuffled(self):
+        ds = make_dataset(10)
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        xs = np.concatenate([xb for xb, _ in loader])
+        assert np.array_equal(xs, ds.x)
+
+    def test_shuffle_is_seeded(self):
+        ds = make_dataset(16)
+        a = [yb.tolist() for _, yb in
+             DataLoader(ds, 4, rng=np.random.default_rng(5))]
+        b = [yb.tolist() for _, yb in
+             DataLoader(ds, 4, rng=np.random.default_rng(5))]
+        assert a == b
+
+    def test_shuffle_permutes(self):
+        ds = make_dataset(64)
+        loader = DataLoader(ds, 64, rng=np.random.default_rng(0))
+        (_, yb), = list(loader)
+        assert sorted(yb.tolist()) == sorted(ds.y.tolist())
+
+    def test_drop_last_drops_remainder(self):
+        ds = make_dataset(10)
+        loader = DataLoader(ds, 4, shuffle=False, drop_last=True)
+        total = sum(len(xb) for xb, _ in loader)
+        assert total == 8
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(4), batch_size=0)
+
+
+class TestTrainTestSplit:
+    def test_partition(self, rng):
+        ds = make_dataset(30)
+        train, test = train_test_split(ds, 0.3, rng)
+        assert len(train) + len(test) == 30
+        assert set(train.ids) & set(test.ids) == set()
+        assert len(test) == 9
+
+    def test_stratified_preserves_proportions(self, rng):
+        y = np.repeat(np.arange(3), 20)
+        ds = LabeledDataset(np.zeros((60, 2)), y)
+        train, test = train_test_split(ds, 0.25, rng, stratify=True)
+        assert np.array_equal(np.bincount(test.y), [5, 5, 5])
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(4), 0.0, rng)
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(4), 1.0, rng)
+
+    @given(st.integers(10, 60), st.floats(0.1, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, n, frac):
+        ds = make_dataset(n)
+        train, test = train_test_split(ds, frac, np.random.default_rng(0))
+        ids = np.concatenate([train.ids, test.ids])
+        assert sorted(ids.tolist()) == list(range(n))

@@ -1,0 +1,140 @@
+"""Tests for repro.datalake (catalog and arrival stream)."""
+
+import numpy as np
+import pytest
+
+from repro.datalake.catalog import DataLakeCatalog, DetectionRecord
+from repro.datalake.stream import ArrivalStream
+from repro.datasets.splits import ShardPlan
+from repro.noise import MISSING_LABEL, pair_asymmetric
+from repro.nn.data import LabeledDataset
+
+
+def pool(n_classes=4, per_class=30):
+    y = np.repeat(np.arange(n_classes), per_class)
+    x = np.random.default_rng(0).normal(size=(len(y), 2))
+    return LabeledDataset(x, y, true_y=y.copy(), name="pool")
+
+
+def inventory():
+    y = np.repeat(np.arange(4), 10)
+    return LabeledDataset(np.zeros((40, 2)), y, true_y=y.copy(), name="inv")
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        cat = DataLakeCatalog(inventory())
+        ds = pool().subset([0, 1, 2], name="arrival-0")
+        cat.register_arrival(ds)
+        assert cat.get_arrival("arrival-0") is ds
+        assert cat.arrival_names == ["arrival-0"]
+
+    def test_duplicate_name_rejected(self):
+        cat = DataLakeCatalog(inventory())
+        ds = pool().subset([0], name="a")
+        cat.register_arrival(ds)
+        with pytest.raises(KeyError, match="already"):
+            cat.register_arrival(ds)
+
+    def test_unknown_lookup(self):
+        cat = DataLakeCatalog(inventory())
+        with pytest.raises(KeyError, match="known"):
+            cat.get_arrival("nope")
+
+    def test_detection_record_bookkeeping(self):
+        cat = DataLakeCatalog(inventory())
+        ds = pool().subset(np.arange(10), name="a")
+        cat.register_arrival(ds)
+        record = DetectionRecord(dataset_name="a",
+                                 clean_ids=np.arange(7),
+                                 noisy_ids=np.arange(7, 10),
+                                 process_seconds=1.5)
+        cat.record_detection(record)
+        assert cat.get_detection("a").detected_noise_fraction == 0.3
+        assert cat.processed_names == ["a"]
+
+    def test_detection_for_unknown_dataset(self):
+        cat = DataLakeCatalog(inventory())
+        with pytest.raises(KeyError, match="unknown"):
+            cat.record_detection(DetectionRecord(
+                "ghost", np.array([]), np.array([])))
+
+    def test_get_detection_missing(self):
+        cat = DataLakeCatalog(inventory())
+        with pytest.raises(KeyError):
+            cat.get_detection("a")
+
+    def test_clean_inventory_accumulation(self):
+        cat = DataLakeCatalog(inventory())
+        cat.add_clean_inventory_ids(np.array([3, 1]))
+        cat.add_clean_inventory_ids(np.array([1, 5]))
+        assert np.array_equal(cat.clean_inventory_ids, [1, 3, 5])
+        subset = cat.clean_inventory_subset()
+        assert len(subset) == 3
+        assert set(subset.ids) == {1, 3, 5}
+
+    def test_quality_report_empty(self):
+        report = DataLakeCatalog(inventory()).quality_report()
+        assert report["datasets_processed"] == 0
+        assert report["flagged_fraction"] == 0.0
+
+    def test_quality_report_aggregates(self):
+        cat = DataLakeCatalog(inventory())
+        for i, (clean, noisy) in enumerate([(8, 2), (5, 5)]):
+            ds = pool().subset(np.arange(clean + noisy), name=f"d{i}")
+            cat.register_arrival(ds)
+            cat.record_detection(DetectionRecord(
+                f"d{i}", np.arange(clean), np.arange(noisy),
+                process_seconds=float(i + 1)))
+        report = cat.quality_report()
+        assert report["datasets_processed"] == 2
+        assert report["samples_screened"] == 20
+        assert np.isclose(report["flagged_fraction"], 7 / 20)
+        assert np.isclose(report["mean_process_seconds"], 1.5)
+
+
+class TestArrivalStream:
+    def plan(self):
+        return ShardPlan(num_shards=3, classes_per_shard=3)
+
+    def test_length_and_iteration(self):
+        stream = ArrivalStream(pool(), self.plan(), seed=1)
+        assert len(stream) == 3
+        assert len(stream.arrivals()) == 3
+
+    def test_replay_deterministic(self):
+        t = pair_asymmetric(4, 0.2)
+        a = ArrivalStream(pool(), self.plan(), transition=t, seed=5)
+        b = ArrivalStream(pool(), self.plan(), transition=t, seed=5)
+        for da, db in zip(a.arrivals(), b.arrivals()):
+            assert np.array_equal(da.y, db.y)
+            assert np.array_equal(da.ids, db.ids)
+
+    def test_noise_applied_per_shard(self):
+        t = pair_asymmetric(4, 0.3)
+        stream = ArrivalStream(pool(per_class=100), self.plan(),
+                               transition=t, seed=2)
+        rates = [a.noise_rate() for a in stream.arrivals()]
+        assert all(0.1 < r < 0.5 for r in rates)
+
+    def test_clean_when_no_transition(self):
+        stream = ArrivalStream(pool(), self.plan(), seed=3)
+        assert all(a.noise_rate() == 0.0 for a in stream.arrivals())
+
+    def test_missing_labels(self):
+        stream = ArrivalStream(pool(), self.plan(),
+                               missing_fraction=0.5, seed=4)
+        for arrival in stream.arrivals():
+            frac = (arrival.y == MISSING_LABEL).mean()
+            assert abs(frac - 0.5) < 0.06
+
+    def test_invalid_transition_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalStream(pool(), self.plan(),
+                          transition=np.ones((4, 4)))
+
+    def test_arrivals_partition_pool(self):
+        p = pool()
+        stream = ArrivalStream(p, self.plan(), seed=6)
+        ids = np.concatenate([a.ids for a in stream.arrivals()])
+        assert sorted(ids.tolist()) == sorted(p.ids.tolist())

@@ -1,0 +1,179 @@
+"""Tests for repro.core.detector (Algorithm 3, fine-grained NLD)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ENLDConfig
+from repro.core.detector import FineGrainedDetector
+from repro.core.probability import estimate_conditional
+from repro.noise import MISSING_LABEL, corrupt_labels, pair_asymmetric
+from repro.nn.data import LabeledDataset
+from repro.nn.models import MLPClassifier
+from repro.nn.train import fit
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A planted detection scenario around well-separated blobs.
+
+    Inventory of 3 classes (some noise), a general model trained on half
+    of it, and an incremental dataset with 30% pair noise.
+    """
+    gen = np.random.default_rng(42)
+    x = np.concatenate([gen.normal((i - 1) * 4.0, 1.0, size=(120, 5))
+                        for i in range(3)])
+    y = np.repeat(np.arange(3), 120)
+    order = gen.permutation(len(y))
+    full = LabeledDataset(x[order], y[order], true_y=y[order].copy())
+    transition = pair_asymmetric(3, 0.2)
+
+    train = full.subset(np.arange(0, 180), name="I_t")
+    candidates = full.subset(np.arange(180, 300), name="I_c")
+    incoming = full.subset(np.arange(300, 360), name="D")
+    train = corrupt_labels(train, transition, gen)
+    candidates = corrupt_labels(candidates, transition, gen)
+    incoming = corrupt_labels(incoming, pair_asymmetric(3, 0.3), gen)
+
+    model = MLPClassifier(5, 3, hidden=32, rng=gen)
+    fit(model, train, epochs=12, rng=gen, lr=0.05)
+    cond = estimate_conditional(model, candidates)
+    return {"model": model, "candidates": candidates,
+            "incoming": incoming, "cond": cond}
+
+
+def run_detector(world, config=None, dataset=None, seed=0):
+    config = config or ENLDConfig(iterations=3, steps_per_iteration=5,
+                                  warmup_epochs=1)
+    detector = FineGrainedDetector(config)
+    return detector.detect(world["model"], dataset or world["incoming"],
+                           world["candidates"], world["cond"],
+                           np.random.default_rng(seed))
+
+
+class TestDetection:
+    def test_partitions_dataset(self, world):
+        result = run_detector(world)
+        d = world["incoming"]
+        assert not (result.clean_mask & result.noisy_mask).any()
+        assert (result.clean_mask | result.noisy_mask).sum() == len(d)
+
+    def test_detects_planted_noise(self, world):
+        from repro.eval.metrics import score_detection
+        result = run_detector(world)
+        score = score_detection(result, world["incoming"])
+        assert score.f1 > 0.7
+        assert score.recall > 0.6
+
+    def test_model_not_mutated(self, world):
+        before = {k: v.copy() for k, v in
+                  world["model"].state_dict().items()}
+        run_detector(world)
+        after = world["model"].state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+    def test_trace_records_every_iteration(self, world):
+        config = ENLDConfig(iterations=4, steps_per_iteration=3,
+                            warmup_epochs=1)
+        result = run_detector(world, config)
+        assert len(result.trace) == 4
+        assert [s.iteration for s in result.trace] == [0, 1, 2, 3]
+
+    def test_clean_selection_is_monotone(self, world):
+        result = run_detector(world)
+        previous = np.zeros(len(world["incoming"]), dtype=bool)
+        for snap in result.trace:
+            assert (previous <= snap.clean_mask).all()
+            previous = snap.clean_mask
+
+    def test_ambiguous_set_shrinks(self, world):
+        """Fig. 13b behaviour: |A| decreases over iterations (weakly)."""
+        result = run_detector(world)
+        first = result.trace[0].num_ambiguous
+        last = result.trace[-1].num_ambiguous
+        assert last <= first
+
+    def test_train_samples_accounted(self, world):
+        result = run_detector(world)
+        assert result.train_samples > 0
+        assert result.trace[-1].train_samples == result.train_samples
+
+    def test_inventory_clean_positions_valid(self, world):
+        result = run_detector(world)
+        pos = result.inventory_clean_positions
+        candidates = world["candidates"]
+        assert (pos >= 0).all() and (pos < len(candidates)).all()
+        # Stringent voting should produce predominantly clean samples.
+        clean = candidates.y[pos] == candidates.true_y[pos]
+        assert clean.mean() > 0.8
+
+    def test_deterministic_given_seed(self, world):
+        a = run_detector(world, seed=9)
+        b = run_detector(world, seed=9)
+        assert np.array_equal(a.clean_mask, b.clean_mask)
+        assert np.array_equal(a.inventory_clean_positions,
+                              b.inventory_clean_positions)
+
+
+class TestAblationFlags:
+    def test_no_majority_voting_is_more_aggressive(self, world):
+        strict = run_detector(world, ENLDConfig(
+            iterations=2, steps_per_iteration=5, warmup_epochs=1))
+        loose = run_detector(world, ENLDConfig(
+            iterations=2, steps_per_iteration=5, warmup_epochs=1,
+            use_majority_voting=False))
+        # Without voting, every single agreement selects → clean set at
+        # least as large.
+        assert loose.num_clean >= strict.num_clean
+
+    def test_random_policy_used_when_contrastive_disabled(self):
+        det = FineGrainedDetector(ENLDConfig(use_contrastive_sampling=False))
+        assert det.policy.name == "random"
+
+    def test_policy_name_resolution(self):
+        det = FineGrainedDetector(ENLDConfig(sampling_policy="entropy"))
+        assert det.policy.name == "entropy"
+
+    def test_contrastive_probability_flag_passed(self):
+        det = FineGrainedDetector(ENLDConfig(use_probability_label=False))
+        assert det.policy.use_probability_label is False
+
+
+class TestMissingLabels:
+    def test_pseudo_labels_for_missing_rows(self, world):
+        d = world["incoming"]
+        gen = np.random.default_rng(3)
+        missing_rows = gen.choice(len(d), size=15, replace=False)
+        y = d.y.copy()
+        y[missing_rows] = MISSING_LABEL
+        with_missing = LabeledDataset(d.x, y, true_y=d.true_y, ids=d.ids)
+        result = run_detector(world, dataset=with_missing)
+        # Missing rows are excluded from clean/noisy and get pseudo labels.
+        assert not result.clean_mask[missing_rows].any()
+        assert not result.noisy_mask[missing_rows].any()
+        assert (result.pseudo_labels[missing_rows] >= 0).all()
+        labeled = np.setdiff1d(np.arange(len(d)), missing_rows)
+        assert (result.pseudo_labels[labeled] == -1).all()
+
+    def test_pseudo_labels_mostly_correct(self, world):
+        d = world["incoming"]
+        gen = np.random.default_rng(4)
+        missing_rows = gen.choice(len(d), size=20, replace=False)
+        y = d.y.copy()
+        y[missing_rows] = MISSING_LABEL
+        with_missing = LabeledDataset(d.x, y, true_y=d.true_y, ids=d.ids)
+        result = run_detector(world, dataset=with_missing)
+        acc = (result.pseudo_labels[missing_rows]
+               == d.true_y[missing_rows]).mean()
+        assert acc > 0.6
+
+    def test_no_missing_means_no_pseudo(self, world):
+        result = run_detector(world)
+        assert (result.pseudo_labels == -1).all()
+
+
+class TestResultProperties:
+    def test_counts(self, world):
+        result = run_detector(world)
+        assert result.num_clean == int(result.clean_mask.sum())
+        assert result.num_noisy == int(result.noisy_mask.sum())

@@ -1,0 +1,159 @@
+"""Boundary-condition tests for the fine-grained detector.
+
+Extreme-but-legal configurations (single step, single iteration, k=1),
+degenerate arrivals (empty, single-class, all-noisy, all-clean) and
+starved candidate pools must neither crash nor violate the result
+contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ENLDConfig
+from repro.core.detector import FineGrainedDetector
+from repro.core.probability import estimate_conditional
+from repro.noise import corrupt_labels, pair_asymmetric
+from repro.nn.data import LabeledDataset
+from repro.nn.models import MLPClassifier
+from repro.nn.train import fit
+
+
+@pytest.fixture(scope="module")
+def world():
+    gen = np.random.default_rng(71)
+    x = np.concatenate([gen.normal((i - 1) * 4.0, 1.0, size=(80, 5))
+                        for i in range(3)])
+    y = np.repeat(np.arange(3), 80)
+    order = gen.permutation(len(y))
+    full = LabeledDataset(x[order], y[order], true_y=y[order].copy())
+    train = corrupt_labels(full.subset(np.arange(120)),
+                           pair_asymmetric(3, 0.2), gen)
+    candidates = corrupt_labels(full.subset(np.arange(120, 200), name="I_c"),
+                                pair_asymmetric(3, 0.2), gen)
+    incoming = corrupt_labels(full.subset(np.arange(200, 240), name="D"),
+                              pair_asymmetric(3, 0.3), gen)
+    model = MLPClassifier(5, 3, hidden=32, rng=gen)
+    fit(model, train, epochs=12, rng=gen, lr=0.05)
+    cond = estimate_conditional(model, candidates)
+    return {"model": model, "candidates": candidates,
+            "incoming": incoming, "cond": cond}
+
+
+def detect(world, config, dataset=None):
+    detector = FineGrainedDetector(config)
+    return detector.detect(world["model"], dataset or world["incoming"],
+                           world["candidates"], world["cond"],
+                           np.random.default_rng(0))
+
+
+def assert_contract(result, dataset):
+    labeled = dataset.y != -1
+    assert not (result.clean_mask & result.noisy_mask).any()
+    assert ((result.clean_mask | result.noisy_mask) == labeled).all()
+    assert len(result.trace) >= 1
+
+
+class TestExtremeConfigs:
+    def test_single_step_single_iteration(self, world):
+        cfg = ENLDConfig(iterations=1, steps_per_iteration=1,
+                         warmup_epochs=0)
+        result = detect(world, cfg)
+        assert_contract(result, world["incoming"])
+        # Threshold ⌊1/2⌋+1 = 1: one agreement suffices.
+        assert cfg.majority_threshold == 1
+
+    def test_k_equals_one(self, world):
+        cfg = ENLDConfig(iterations=2, steps_per_iteration=3,
+                         warmup_epochs=1, contrastive_k=1)
+        result = detect(world, cfg)
+        assert_contract(result, world["incoming"])
+
+    def test_no_warmup(self, world):
+        cfg = ENLDConfig(iterations=2, steps_per_iteration=3,
+                         warmup_epochs=0)
+        result = detect(world, cfg)
+        assert_contract(result, world["incoming"])
+
+    def test_even_step_count_threshold(self, world):
+        cfg = ENLDConfig(iterations=1, steps_per_iteration=4,
+                         warmup_epochs=0)
+        assert cfg.majority_threshold == 3
+        result = detect(world, cfg)
+        assert_contract(result, world["incoming"])
+
+    def test_brute_force_index(self, world):
+        cfg = ENLDConfig(iterations=2, steps_per_iteration=3,
+                         warmup_epochs=1, use_kdtree=False)
+        result = detect(world, cfg)
+        assert_contract(result, world["incoming"])
+
+
+class TestDegenerateArrivals:
+    def base_config(self):
+        return ENLDConfig(iterations=2, steps_per_iteration=3,
+                          warmup_epochs=1)
+
+    def test_single_class_arrival(self, world):
+        d = world["incoming"]
+        one_class = d.mask(d.y == d.y[0], name="mono")
+        result = detect(world, self.base_config(), dataset=one_class)
+        assert_contract(result, one_class)
+
+    def test_all_clean_arrival(self, world):
+        d = world["incoming"]
+        clean = d.with_labels(d.true_y, name="clean")
+        result = detect(world, self.base_config(), dataset=clean)
+        assert_contract(result, clean)
+        # Should flag very little of a clean dataset.
+        assert result.noisy_mask.mean() < 0.3
+
+    def test_all_noisy_arrival(self, world):
+        d = world["incoming"]
+        all_wrong = d.with_labels((d.true_y + 1) % 3, name="all_noisy")
+        result = detect(world, self.base_config(), dataset=all_wrong)
+        assert_contract(result, all_wrong)
+        # Should flag the majority of a fully-mislabelled dataset.
+        assert result.noisy_mask.mean() > 0.5
+
+    def test_tiny_arrival(self, world):
+        d = world["incoming"].subset([0, 1, 2], name="tiny")
+        result = detect(world, self.base_config(), dataset=d)
+        assert_contract(result, d)
+
+    def test_starved_candidate_pool(self, world):
+        """I_c with almost nothing in label(D) still works."""
+        candidates = world["candidates"]
+        tiny_pool = candidates.subset(np.arange(3), name="starved")
+        detector = FineGrainedDetector(self.base_config())
+        result = detector.detect(world["model"], world["incoming"],
+                                 tiny_pool, world["cond"],
+                                 np.random.default_rng(0))
+        assert_contract(result, world["incoming"])
+
+
+class TestUnseenLabels:
+    def test_arrival_with_label_unseen_in_candidates(self, world):
+        """label(D) may include classes absent from I_c (Corollary 1's
+        failure mode); the detector must degrade gracefully."""
+        candidates = world["candidates"]
+        # Remove class 2 from the candidate pool entirely.
+        reduced = candidates.mask(candidates.y != 2, name="no_class2")
+        detector = FineGrainedDetector(
+            ENLDConfig(iterations=2, steps_per_iteration=3,
+                       warmup_epochs=1))
+        result = detector.detect(world["model"], world["incoming"],
+                                 reduced, world["cond"],
+                                 np.random.default_rng(0))
+        assert_contract(result, world["incoming"])
+
+
+class TestAblationMatrix:
+    """Every ablation flag combination must satisfy the contract."""
+
+    @pytest.mark.parametrize("variant", ["origin", "enld-1", "enld-2",
+                                         "enld-3", "enld-4"])
+    def test_all_variants_run(self, world, variant):
+        cfg = ENLDConfig(iterations=2, steps_per_iteration=3,
+                         warmup_epochs=1).ablation(variant)
+        result = detect(world, cfg)
+        assert_contract(result, world["incoming"])

@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example must run cleanly end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_scores():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=600)
+    assert "precision=" in proc.stdout
+    assert "f1=" in proc.stdout

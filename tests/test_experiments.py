@@ -1,0 +1,153 @@
+"""Tests for repro.experiments (presets, harness, figure drivers).
+
+Figure drivers are exercised end-to-end at tiny scale; their full-size
+counterparts live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (build_baselines, build_enld,
+                                       build_environment)
+from repro.experiments.presets import (PAPER_NOISE_RATES, ExperimentPreset,
+                                       bench_preset, full_preset,
+                                       small_preset)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return small_preset("toy")
+
+
+@pytest.fixture(scope="module")
+def env(tiny):
+    return build_environment(tiny, noise_rate=0.2)
+
+
+class TestPresets:
+    def test_paper_noise_rates(self):
+        assert PAPER_NOISE_RATES == (0.1, 0.2, 0.3, 0.4)
+
+    def test_bench_iterations_follow_paper_shape(self):
+        assert bench_preset("emnist_like").iterations \
+            < bench_preset("cifar100_like").iterations
+
+    def test_full_preset_uses_paper_iterations(self):
+        assert full_preset("emnist_like").iterations == 5
+        assert full_preset("cifar100_like").iterations == 17
+
+    def test_enld_config_conversion(self, tiny):
+        cfg = tiny.enld_config()
+        assert cfg.model_name == tiny.model_name
+        assert cfg.iterations == tiny.iterations
+        cfg2 = tiny.enld_config(contrastive_k=4)
+        assert cfg2.contrastive_k == 4
+
+    def test_with_overrides(self, tiny):
+        assert tiny.with_overrides(seed=99).seed == 99
+
+
+class TestHarness:
+    def test_environment_structure(self, env, tiny):
+        assert env.num_classes == 6
+        assert len(env.arrivals) == tiny.shard_limit
+        assert env.inventory.noise_rate() == pytest.approx(0.2, abs=0.06)
+        assert np.allclose(env.transition.sum(axis=1), 1.0)
+
+    def test_environment_deterministic(self, tiny):
+        a = build_environment(tiny, 0.2)
+        b = build_environment(tiny, 0.2)
+        assert np.array_equal(a.inventory.y, b.inventory.y)
+        for da, db in zip(a.arrivals, b.arrivals):
+            assert np.array_equal(da.y, db.y)
+
+    def test_missing_fraction_propagates(self, tiny):
+        from repro.noise import MISSING_LABEL
+        env = build_environment(tiny, 0.2, missing_fraction=0.5)
+        for arrival in env.arrivals:
+            assert (arrival.y == MISSING_LABEL).any()
+
+    def test_build_enld_initialized(self, env):
+        enld = build_enld(env)
+        assert enld.model is not None
+        assert enld.cond_prob is not None
+
+    def test_build_baselines_share_model(self, env):
+        enld = build_enld(env)
+        detectors = build_baselines(env, enld)
+        assert set(detectors) == {"default", "cl_prune_by_class",
+                                  "cl_prune_by_noise_rate", "topofilter"}
+        assert detectors["default"].model is enld.model
+
+    def test_topofilter_optional(self, env):
+        enld = build_enld(env)
+        detectors = build_baselines(env, enld, include_topofilter=False)
+        assert "topofilter" not in detectors
+
+
+class TestFigureDrivers:
+    """Each driver runs end-to-end at tiny scale and returns the
+    structure the benchmarks expect."""
+
+    def test_fig3(self, tiny):
+        from repro.experiments.figures import fig3_contribution
+        out = fig3_contribution(tiny)
+        block = out["eta=0.2"]
+        assert set(block) == {"origin", "random", "nearest_only",
+                              "nearest_related"}
+        assert all(np.isfinite(v) for v in block.values())
+
+    def test_method_comparison(self, tiny):
+        from repro.experiments.figures import method_comparison
+        out = method_comparison(tiny)
+        assert set(out["mean_f1"]) == {"default", "cl_prune_by_class",
+                                       "cl_prune_by_noise_rate",
+                                       "topofilter", "enld"}
+        enld_block = out["per_noise_rate"]["eta=0.2"]["enld"]
+        assert "speedup_over_topofilter" in enld_block
+
+    def test_fig9(self, tiny):
+        from repro.experiments.figures import fig9_training_process
+        out = fig9_training_process(tiny)
+        series = out["eta=0.2"]
+        assert len(series["f1"]) == tiny.iterations
+        assert len(series["num_ambiguous"]) == tiny.iterations
+
+    def test_fig10(self, tiny):
+        from repro.experiments.figures import fig10_policies
+        out = fig10_policies(tiny, policies=("contrastive", "random"))
+        assert set(out["mean_f1"]) == {"contrastive", "random"}
+
+    def test_fig11_12(self, tiny):
+        from repro.experiments.figures import fig11_12_k_sweep
+        out = fig11_12_k_sweep(tiny, ks=(1, 2))
+        assert set(out["mean"]) == {"k=1", "k=2"}
+        assert "mean_process_seconds" in out["mean"]["k=1"]
+
+    def test_table2(self, tiny):
+        from repro.experiments.figures import table2_model_update
+        out = table2_model_update(tiny)
+        block = out["eta=0.2"]
+        assert 0 <= block["origin_accuracy"] <= 1
+        assert 0 <= block["update_accuracy"] <= 1
+
+    def test_fig13a(self, tiny):
+        from repro.experiments.figures import fig13a_missing_labels
+        out = fig13a_missing_labels(tiny, missing_fractions=(0.25,))
+        block = out["missing=0.25"]
+        assert 0 <= block["pseudo_f1"] <= 1
+
+    def test_fig13b(self, tiny):
+        from repro.experiments.figures import fig13b_ambiguous_counts
+        out = fig13b_ambiguous_counts(tiny)
+        assert len(out["num_ambiguous"]) == tiny.iterations
+
+    def test_fig14(self, tiny):
+        from repro.experiments.figures import fig14_ablation
+        out = fig14_ablation(tiny, variants=("origin", "enld-1"))
+        assert set(out["mean_f1"]) == {"origin", "enld-1"}
+
+    def test_fig6(self, tiny):
+        from repro.experiments.figures import fig6_networks
+        out = fig6_networks(tiny, model_names=("mlp",))
+        assert "enld" in out["mlp"] and "topofilter" in out["mlp"]

@@ -1,0 +1,57 @@
+"""Tests for repro.eval.export (CSV/JSON result export)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectionResult
+from repro.eval.export import load_json, report_rows, write_csv, write_json
+from repro.eval.metrics import score_masks
+from repro.eval.runner import MethodReport, ShardOutcome
+
+
+def make_reports():
+    report = MethodReport(method="enld")
+    for i, (det, truth) in enumerate([(np.array([True, False]),
+                                       np.array([True, False])),
+                                      (np.array([True, True]),
+                                       np.array([True, False]))]):
+        result = DetectionResult(
+            clean_mask=~det, noisy_mask=det,
+            inventory_clean_positions=np.empty(0, dtype=int),
+            pseudo_labels=np.full(len(det), -1))
+        report.add(ShardOutcome(f"shard{i}", score_masks(det, truth),
+                                0.5, 100, result))
+    return {"enld": report}
+
+
+class TestRows:
+    def test_one_row_per_shard(self):
+        rows = list(report_rows(make_reports()))
+        assert len(rows) == 2
+        assert rows[0]["method"] == "enld"
+        assert rows[0]["f1"] == 1.0
+        assert rows[1]["precision"] == 0.5
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        n = write_csv(make_reports(), path)
+        assert n == 2
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert rows[0]["shard"] == "shard0"
+        assert float(rows[0]["f1"]) == 1.0
+
+
+class TestJSON:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        write_json(make_reports(), path)
+        doc = load_json(path)
+        assert doc["summaries"]["enld"]["shards"] == 2
+        assert len(doc["shards"]) == 2
+        assert doc["shards"][0]["train_samples"] == 100

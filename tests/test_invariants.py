@@ -1,0 +1,111 @@
+"""Cross-module property-based invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.transition import pair_asymmetric, symmetric, validate_transition
+
+
+class TestTransitionComposition:
+    @given(st.integers(2, 12), st.floats(0.0, 0.8), st.floats(0.0, 0.8))
+    @settings(max_examples=30, deadline=None)
+    def test_composed_noise_still_stochastic(self, n, a, b):
+        """Two noise stages compose into a valid transition matrix —
+        the basis for modelling multi-hop labelling pipelines."""
+        composed = pair_asymmetric(n, a) @ symmetric(n, b)
+        validate_transition(composed)
+
+    @given(st.integers(2, 10), st.floats(0.0, 0.45))
+    @settings(max_examples=30, deadline=None)
+    def test_composition_increases_noise(self, n, eta):
+        """Composing a noisy stage with itself never cleans labels."""
+        single = pair_asymmetric(n, eta)
+        double = single @ single
+        assert np.diag(double).min() <= np.diag(single).min() + 1e-12
+
+
+class TestKDTreeOrderInvariance:
+    @given(st.integers(5, 40), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_shuffled_build_same_distances(self, n, k):
+        from repro.index.kdtree import KDTree
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(n, 3))
+        perm = rng.permutation(n)
+        q = rng.normal(size=3)
+        d1, _ = KDTree(pts).query(q, k=k)
+        d2, _ = KDTree(pts[perm]).query(q, k=k)
+        assert np.allclose(d1, d2)
+
+
+class TestTrainingStability:
+    def test_tiny_lr_barely_moves_parameters(self, blobs, rng):
+        from repro.nn.models import MLPClassifier
+        from repro.nn.train import fit
+        model = MLPClassifier(5, 3, hidden=16, rng=rng)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        fit(model, blobs, epochs=1, rng=rng, lr=1e-9, momentum=0.0,
+            weight_decay=0.0)
+        for key, value in model.state_dict().items():
+            assert np.allclose(value, before[key], atol=1e-5), key
+
+    @given(st.integers(1, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_samples_processed_scales_with_epochs(self, epochs):
+        from repro.nn.data import LabeledDataset
+        from repro.nn.models import MLPClassifier
+        from repro.nn.train import fit
+        gen = np.random.default_rng(0)
+        ds = LabeledDataset(gen.normal(size=(30, 4)),
+                            gen.integers(0, 3, size=30))
+        model = MLPClassifier(4, 3, hidden=8, rng=gen)
+        report = fit(model, ds, epochs=epochs, rng=gen)
+        assert report.samples_processed == 30 * epochs
+
+
+class TestDetectionScoreIdentities:
+    @given(st.integers(1, 60), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_of_perfect_detection(self, n, seed):
+        from repro.eval.metrics import score_masks
+        rng = np.random.default_rng(seed)
+        truth = rng.random(n) < 0.3
+        s = score_masks(truth, truth)
+        if truth.any():
+            assert s.precision == s.recall == s.f1 == 1.0
+        else:
+            assert s.f1 == 0.0
+
+    @given(st.integers(2, 60), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_complement_detection_zero_overlap(self, n, seed):
+        from repro.eval.metrics import score_masks
+        rng = np.random.default_rng(seed)
+        truth = rng.random(n) < 0.5
+        s = score_masks(~truth, truth)
+        assert s.precision == 0.0 and s.recall == 0.0 and s.f1 == 0.0
+
+
+class TestMixupInvariants:
+    @given(st.integers(2, 30), st.integers(2, 6), st.floats(0.05, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_targets_remain_distributions(self, n, classes, alpha):
+        from repro.nn.mixup import mixup_batch
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(n, 4))
+        y = rng.integers(0, classes, size=n)
+        _, targets = mixup_batch(x, y, classes, rng, alpha=alpha)
+        assert np.allclose(targets.sum(axis=1), 1.0)
+        assert (targets >= 0).all()
+
+    @given(st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_feature_mean_preserved(self, n):
+        """Mixing a batch with its own permutation preserves the mean."""
+        from repro.nn.mixup import mixup_batch
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(n, 3))
+        y = np.zeros(n, dtype=int)
+        mixed, _ = mixup_batch(x, y, 2, rng, alpha=0.3)
+        assert np.allclose(mixed.mean(axis=0), x.mean(axis=0), atol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for repro.baselines.loss_tracking (O2U & small-loss)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.loss_tracking import (O2UDetector, SmallLossDetector,
+                                           per_sample_losses)
+from repro.eval.metrics import score_detection
+from repro.noise import MISSING_LABEL, corrupt_labels, pair_asymmetric
+from repro.nn.data import LabeledDataset
+
+
+@pytest.fixture(scope="module")
+def world():
+    gen = np.random.default_rng(17)
+    x = np.concatenate([gen.normal((i - 1) * 4.0, 1.0, size=(100, 5))
+                        for i in range(3)])
+    y = np.repeat(np.arange(3), 100)
+    order = gen.permutation(len(y))
+    full = LabeledDataset(x[order], y[order], true_y=y[order].copy())
+    inventory = corrupt_labels(full.subset(np.arange(200), name="inv"),
+                               pair_asymmetric(3, 0.2), gen)
+    incoming = corrupt_labels(full.subset(np.arange(200, 300), name="D"),
+                              pair_asymmetric(3, 0.3), gen)
+    return {"inventory": inventory, "incoming": incoming}
+
+
+def make_o2u(world, **kw):
+    kw.setdefault("model_name", "mlp")
+    kw.setdefault("model_kwargs", {"hidden": 32})
+    kw.setdefault("warmup_epochs", 4)
+    kw.setdefault("cycle_epochs", 3)
+    kw.setdefault("cycles", 2)
+    kw.setdefault("seed", 1)
+    return O2UDetector(world["inventory"], 3, **kw)
+
+
+class TestPerSampleLosses:
+    def test_matches_manual(self, trained_blob_model, blobs):
+        losses = per_sample_losses(trained_blob_model, blobs)
+        assert losses.shape == (len(blobs),)
+        assert (losses >= 0).all()
+        # Mislabelled copies must have higher loss than originals.
+        wrong = blobs.with_labels((blobs.y + 1) % 3)
+        wrong_losses = per_sample_losses(trained_blob_model, wrong)
+        assert wrong_losses.mean() > losses.mean()
+
+
+class TestO2U:
+    def test_detects_planted_noise(self, world):
+        det = make_o2u(world)
+        result = det.detect(world["incoming"])
+        score = score_detection(result, world["incoming"])
+        assert score.f1 > 0.5
+
+    def test_flags_estimated_fraction(self, world):
+        det = make_o2u(world, noise_rate_estimate=0.25)
+        result = det.detect(world["incoming"])
+        assert result.num_noisy == round(0.25 * len(world["incoming"]))
+
+    def test_work_accounting(self, world):
+        det = make_o2u(world)
+        result = det.detect(world["incoming"])
+        pool_size = 300  # 200 related inventory + 100 arriving
+        total_epochs = 4 + 2 * 3
+        assert result.train_samples == total_epochs * pool_size
+
+    def test_missing_labels_excluded(self, world):
+        d = world["incoming"]
+        y = d.y.copy()
+        y[:10] = MISSING_LABEL
+        det = make_o2u(world)
+        result = det.detect(LabeledDataset(d.x, y, true_y=d.true_y))
+        assert not result.noisy_mask[:10].any()
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            O2UDetector(world["inventory"], 3, cycle_epochs=0)
+        with pytest.raises(ValueError):
+            O2UDetector(world["inventory"], 3, cycles=0)
+
+
+class TestSmallLoss:
+    def test_detects_planted_noise(self, world):
+        det = SmallLossDetector(world["inventory"], 3, model_name="mlp",
+                                model_kwargs={"hidden": 32},
+                                train_epochs=8, seed=1)
+        result = det.detect(world["incoming"])
+        score = score_detection(result, world["incoming"])
+        assert score.f1 > 0.5
+
+    def test_explicit_noise_rate(self, world):
+        det = SmallLossDetector(world["inventory"], 3, model_name="mlp",
+                                model_kwargs={"hidden": 32},
+                                train_epochs=4,
+                                noise_rate_estimate=0.1, seed=1)
+        result = det.detect(world["incoming"])
+        assert result.num_noisy == round(0.1 * len(world["incoming"]))
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            SmallLossDetector(world["inventory"], 3, train_epochs=0)
+
+    def test_names(self, world):
+        assert SmallLossDetector(world["inventory"], 3).name == "small_loss"
+        assert O2UDetector(world["inventory"], 3).name == "o2u"

@@ -1,0 +1,212 @@
+"""Tests for repro.nn.losses and repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.losses import cross_entropy, mse_loss, soft_cross_entropy
+from repro.nn.optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 1.0, 0.1], [0.5, 2.5, 0.0]])
+        labels = np.array([0, 1])
+        expected = -np.log(
+            np.exp(logits[np.arange(2), labels])
+            / np.exp(logits).sum(axis=1)).mean()
+        loss = cross_entropy(Tensor(logits), labels)
+        assert np.isclose(loss.item(), expected)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0]])
+        assert cross_entropy(Tensor(logits), np.array([0])).item() < 1e-6
+
+    def test_reduction_sum_vs_mean(self):
+        logits = np.random.default_rng(0).normal(size=(4, 3))
+        labels = np.array([0, 1, 2, 0])
+        s = cross_entropy(Tensor(logits), labels, reduction="sum").item()
+        m = cross_entropy(Tensor(logits), labels, reduction="mean").item()
+        assert np.isclose(s, 4 * m)
+
+    def test_reduction_none_shape(self):
+        logits = np.zeros((5, 3))
+        out = cross_entropy(Tensor(logits), np.zeros(5, dtype=int),
+                            reduction="none")
+        assert out.shape == (5,)
+
+    def test_invalid_reduction(self):
+        with pytest.raises(ValueError, match="reduction"):
+            cross_entropy(Tensor(np.zeros((1, 2))), np.array([0]),
+                          reduction="bogus")
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = np.random.default_rng(1).normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        t = Tensor(logits.copy(), requires_grad=True)
+        cross_entropy(t, labels, reduction="sum").backward()
+        expected = F.softmax(Tensor(logits)).data - F.one_hot(labels, 4)
+        assert np.allclose(t.grad, expected, atol=1e-10)
+
+
+class TestSoftCrossEntropy:
+    def test_reduces_to_hard_ce_on_onehot(self):
+        logits = np.random.default_rng(2).normal(size=(4, 5))
+        labels = np.array([0, 3, 2, 4])
+        hard = cross_entropy(Tensor(logits), labels).item()
+        soft = soft_cross_entropy(Tensor(logits),
+                                  F.one_hot(labels, 5)).item()
+        assert np.isclose(hard, soft)
+
+    def test_mixture_is_convex_combination(self):
+        logits = np.random.default_rng(3).normal(size=(2, 3))
+        t1 = F.one_hot(np.array([0, 1]), 3)
+        t2 = F.one_hot(np.array([2, 0]), 3)
+        lam = 0.3
+        mixed = soft_cross_entropy(Tensor(logits),
+                                   lam * t1 + (1 - lam) * t2).item()
+        separate = (lam * soft_cross_entropy(Tensor(logits), t1).item()
+                    + (1 - lam) * soft_cross_entropy(Tensor(logits),
+                                                     t2).item())
+        assert np.isclose(mixed, separate)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="match"):
+            soft_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 4)))
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        assert np.isclose(mse_loss(pred, np.array([[0.0, 0.0]])).item(), 5.0)
+
+    def test_zero_at_target(self):
+        pred = Tensor(np.ones((3, 2)))
+        assert mse_loss(pred, np.ones((3, 2))).item() == 0.0
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=-2.9
+        assert np.allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = Tensor(np.array([2.0]), requires_grad=True)
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.5, weight_decay=0.1).step()
+        assert np.allclose(p.data, [2.0 - 0.5 * 0.2])
+
+    def test_skips_none_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_rejects_bad_lr_and_empty(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([3.0])
+        opt.step()
+        # Bias-corrected first step ≈ lr * sign(grad).
+        assert np.allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([5.0]), requires_grad=True)
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+    def test_weight_decay_applied(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_cosine_endpoints(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_cosine_monotone_decrease(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_args(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineLR(opt, total_epochs=0)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Tensor(np.array([0.0, 0.0]), requires_grad=True)
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(pre, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.5])

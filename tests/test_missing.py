@@ -1,0 +1,82 @@
+"""Tests for repro.core.missing (§V-H missing-label utilities)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectionResult
+from repro.core.missing import (missing_label_report, missing_rows,
+                                pseudo_label_accuracy, pseudo_label_f1)
+from repro.noise import MISSING_LABEL
+from repro.nn.data import LabeledDataset
+
+
+def make_dataset():
+    y = np.array([0, MISSING_LABEL, 1, MISSING_LABEL, 2])
+    true_y = np.array([0, 1, 1, 2, 2])
+    return LabeledDataset(np.zeros((5, 2)), y, true_y=true_y)
+
+
+def make_result(pseudo):
+    n = len(pseudo)
+    return DetectionResult(
+        clean_mask=np.zeros(n, dtype=bool),
+        noisy_mask=np.zeros(n, dtype=bool),
+        inventory_clean_positions=np.empty(0, dtype=int),
+        pseudo_labels=np.asarray(pseudo))
+
+
+class TestMissingRows:
+    def test_positions(self):
+        assert np.array_equal(missing_rows(make_dataset()), [1, 3])
+
+    def test_none_missing(self):
+        ds = LabeledDataset(np.zeros((3, 1)), np.arange(3))
+        assert missing_rows(ds).size == 0
+
+
+class TestPseudoAccuracy:
+    def test_all_correct(self):
+        result = make_result([-1, 1, -1, 2, -1])
+        assert pseudo_label_accuracy(result, make_dataset()) == 1.0
+
+    def test_half_correct(self):
+        result = make_result([-1, 1, -1, 0, -1])
+        assert pseudo_label_accuracy(result, make_dataset()) == 0.5
+
+    def test_requires_truth(self):
+        ds = LabeledDataset(np.zeros((2, 1)),
+                            np.array([MISSING_LABEL, 0]))
+        with pytest.raises(ValueError):
+            pseudo_label_accuracy(make_result([0, -1]), ds)
+
+    def test_no_missing_returns_zero(self):
+        ds = LabeledDataset(np.zeros((2, 1)), np.arange(2),
+                            true_y=np.arange(2))
+        assert pseudo_label_accuracy(make_result([-1, -1]), ds) == 0.0
+
+
+class TestPseudoF1:
+    def test_perfect_macro_f1(self):
+        result = make_result([-1, 1, -1, 2, -1])
+        assert pseudo_label_f1(result, make_dataset()) == 1.0
+
+    def test_wrong_labels_lower_f1(self):
+        perfect = make_result([-1, 1, -1, 2, -1])
+        wrong = make_result([-1, 2, -1, 1, -1])
+        ds = make_dataset()
+        assert pseudo_label_f1(wrong, ds) < pseudo_label_f1(perfect, ds)
+
+    def test_bounded(self):
+        result = make_result([-1, 0, -1, 0, -1])
+        f1 = pseudo_label_f1(result, make_dataset())
+        assert 0.0 <= f1 <= 1.0
+
+
+class TestReport:
+    def test_fields(self):
+        report = missing_label_report(make_result([-1, 1, -1, 2, -1]),
+                                      make_dataset())
+        assert report["missing_count"] == 2
+        assert np.isclose(report["missing_fraction"], 0.4)
+        assert report["pseudo_accuracy"] == 1.0
+        assert report["pseudo_f1"] == 1.0

@@ -1,0 +1,163 @@
+"""Tests for repro.nn.models and repro.nn.blocks (model zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.blocks import (DenseMLPBlock, ResidualConvBlock,
+                             ResidualMLPBlock, TransitionMLP)
+from repro.nn.models import (DenseNetMLP, MLPClassifier, ResNetMLP,
+                             SmallConvNet, available_models, build_model)
+from repro.nn.tensor import Tensor
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBlocks:
+    def test_residual_block_preserves_shape(self):
+        block = ResidualMLPBlock(16, rng=rng())
+        out = block(Tensor(np.zeros((4, 16))))
+        assert out.shape == (4, 16)
+
+    def test_residual_block_is_identity_plus_branch(self):
+        block = ResidualMLPBlock(8, rng=rng(), use_norm=False)
+        # Zero out the second layer so the branch contributes nothing.
+        block.fc2.weight.data[:] = 0.0
+        block.fc2.bias.data[:] = 0.0
+        x = np.random.default_rng(1).normal(size=(3, 8))
+        assert np.allclose(block(Tensor(x)).data, x)
+
+    def test_residual_gradient_reaches_input(self):
+        block = ResidualMLPBlock(8, rng=rng(), use_norm=False)
+        t = Tensor(np.ones((2, 8)), requires_grad=True)
+        block(t).sum().backward()
+        assert t.grad is not None
+        # Identity path guarantees gradient at least 1 in magnitude sum.
+        assert np.abs(t.grad).sum() > 0
+
+    def test_dense_block_grows_width(self):
+        block = DenseMLPBlock(10, growth=4, num_layers=3, rng=rng())
+        out = block(Tensor(np.zeros((2, 10))))
+        assert out.shape == (2, 10 + 3 * 4)
+        assert block.out_width == 22
+
+    def test_transition_compresses(self):
+        tr = TransitionMLP(20, 8, rng=rng())
+        assert tr(Tensor(np.zeros((2, 20)))).shape == (2, 8)
+
+    def test_conv_residual_block(self):
+        block = ResidualConvBlock(4, rng=rng())
+        out = block(Tensor(np.zeros((1, 4, 6, 6))))
+        assert out.shape == (1, 4, 6, 6)
+
+
+class TestClassifierAPI:
+    @pytest.fixture
+    def model(self):
+        return MLPClassifier(6, 4, hidden=16, rng=rng())
+
+    def test_predict_proba_rows_sum_to_one(self, model):
+        x = np.random.default_rng(2).normal(size=(9, 6))
+        probs = model.predict_proba(x)
+        assert probs.shape == (9, 4)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_predict_matches_argmax(self, model):
+        x = np.random.default_rng(3).normal(size=(5, 6))
+        assert np.array_equal(model.predict(x),
+                              model.predict_proba(x).argmax(axis=1))
+
+    def test_features_shape(self, model):
+        x = np.zeros((7, 6))
+        assert model.features(x).shape == (7, model.feature_dim)
+
+    def test_batched_inference_consistent(self, model):
+        x = np.random.default_rng(4).normal(size=(30, 6))
+        full = model.predict_logits(x, batch_size=256)
+        small = model.predict_logits(x, batch_size=7)
+        assert np.allclose(full, small)
+
+    def test_inference_restores_training_mode(self, model):
+        model.train()
+        model.predict(np.zeros((2, 6)))
+        assert model.training
+
+    def test_inference_keeps_eval_mode(self, model):
+        model.eval()
+        model.predict(np.zeros((2, 6)))
+        assert not model.training
+
+    def test_flattens_nd_input(self, model):
+        out = model(Tensor(np.zeros((3, 2, 3))))
+        assert out.shape == (3, 4)
+
+
+class TestModelZoo:
+    def test_registry_contents(self):
+        names = available_models()
+        for expected in ("mlp", "resnet110", "resnet164", "densenet121",
+                         "tinyresnet"):
+            assert expected in names
+
+    def test_unknown_model_raises_with_list(self):
+        with pytest.raises(KeyError, match="available"):
+            build_model("nope", 4, 2)
+
+    @pytest.mark.parametrize("name", ["mlp", "tinyresnet", "densenet121"])
+    def test_build_and_run(self, name):
+        model = build_model(name, 12, 5, rng=rng())
+        probs = model.predict_proba(np.zeros((3, 12)))
+        assert probs.shape == (3, 5)
+
+    def test_resnet110_depth(self):
+        model = build_model("resnet110", 8, 3, rng=rng())
+        assert isinstance(model, ResNetMLP)
+        assert len(model.blocks) == 18
+
+    def test_resnet164_deeper_than_110(self):
+        m110 = build_model("resnet110", 8, 3, rng=rng())
+        m164 = build_model("resnet164", 8, 3, rng=rng())
+        assert len(m164.blocks) > len(m110.blocks)
+
+    def test_densenet_feature_dim_consistent(self):
+        model = DenseNetMLP(10, 4, rng=rng())
+        feats = model.features(np.zeros((2, 10)))
+        assert feats.shape[1] == model.feature_dim
+
+    def test_duplicate_registration_rejected(self):
+        from repro.nn.models import register_model
+        with pytest.raises(KeyError, match="already"):
+            register_model("mlp")(lambda *a, **k: None)
+
+
+class TestSmallConvNet:
+    def test_forward_from_images(self):
+        model = SmallConvNet((1, 8, 8), 3, channels=4, rng=rng())
+        out = model(Tensor(np.zeros((2, 1, 8, 8))))
+        assert out.shape == (2, 3)
+
+    def test_forward_from_flat(self):
+        model = SmallConvNet((1, 8, 8), 3, channels=4, rng=rng())
+        out = model(Tensor(np.zeros((2, 64))))
+        assert out.shape == (2, 3)
+
+    def test_rejects_bad_spatial_dims(self):
+        with pytest.raises(ValueError, match="divisible"):
+            SmallConvNet((1, 6, 6), 3)
+
+    def test_trains_on_tiny_problem(self):
+        from repro.nn.data import LabeledDataset
+        from repro.nn.train import fit
+        gen = np.random.default_rng(5)
+        # Two classes: bright top half vs bright bottom half.
+        x = np.zeros((40, 1, 8, 8))
+        x[:20, :, :4, :] = 1.0
+        x[20:, :, 4:, :] = 1.0
+        x += gen.normal(scale=0.05, size=x.shape)
+        y = np.repeat([0, 1], 20)
+        ds = LabeledDataset(x.reshape(40, -1), y, true_y=y)
+        model = SmallConvNet((1, 8, 8), 2, channels=4, rng=gen)
+        fit(model, ds, epochs=6, rng=gen, lr=0.05, batch_size=8)
+        acc = (model.predict(ds.x) == y).mean()
+        assert acc > 0.9

@@ -1,0 +1,48 @@
+"""Additional optimiser-path tests (Nesterov momentum, LR interplay)."""
+
+import numpy as np
+
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+
+class TestNesterov:
+    def test_nesterov_differs_from_plain_momentum(self):
+        def run(nesterov):
+            p = Tensor(np.array([0.0]), requires_grad=True)
+            opt = SGD([p], lr=0.1, momentum=0.9, nesterov=nesterov)
+            for _ in range(3):
+                p.grad = np.array([1.0])
+                opt.step()
+            return p.data[0]
+
+        assert run(True) != run(False)
+
+    def test_nesterov_first_step(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0, momentum=0.5, nesterov=True)
+        p.grad = np.array([1.0])
+        opt.step()
+        # v = 1; update = grad + mu*v = 1.5
+        assert np.allclose(p.data, [-1.5])
+
+    def test_nesterov_converges_on_quadratic(self):
+        p = Tensor(np.array([4.0]), requires_grad=True)
+        opt = SGD([p], lr=0.05, momentum=0.9, nesterov=True)
+        for _ in range(150):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+
+class TestLRMutation:
+    def test_manual_lr_change_takes_effect(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0)
+        p.grad = np.array([1.0])
+        opt.step()
+        opt.lr = 0.1
+        p.grad = np.array([1.0])
+        opt.step()
+        assert np.allclose(p.data, [-1.1])

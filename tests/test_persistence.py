@@ -1,0 +1,79 @@
+"""Tests for repro.datalake.persistence (catalog save/load)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datalake.catalog import DataLakeCatalog, DetectionRecord
+from repro.datalake.persistence import (catalog_state, load_catalog_state,
+                                        save_catalog)
+from repro.nn.data import LabeledDataset
+
+
+def make_catalog():
+    y = np.repeat(np.arange(3), 10)
+    inventory = LabeledDataset(np.zeros((30, 2)), y, name="inv")
+    catalog = DataLakeCatalog(inventory)
+    arrival = inventory.subset(np.arange(10), name="a0")
+    catalog.register_arrival(arrival)
+    catalog.record_detection(DetectionRecord(
+        "a0", clean_ids=np.arange(7), noisy_ids=np.arange(7, 10),
+        process_seconds=1.25, detector="enld"))
+    catalog.add_clean_inventory_ids(np.array([2, 5, 9]))
+    return catalog
+
+
+class TestState:
+    def test_state_structure(self):
+        state = catalog_state(make_catalog())
+        assert state["version"] == 1
+        assert len(state["records"]) == 1
+        assert state["records"][0]["dataset_name"] == "a0"
+        assert state["clean_inventory_ids"] == [2, 5, 9]
+
+    def test_state_is_json_serialisable(self):
+        json.dumps(catalog_state(make_catalog()))
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        catalog = make_catalog()
+        path = str(tmp_path / "catalog.json")
+        save_catalog(catalog, path)
+
+        fresh = DataLakeCatalog(catalog.inventory)
+        fresh.register_arrival(catalog.get_arrival("a0"))
+        restored = load_catalog_state(fresh, path)
+        assert restored == 1
+        record = fresh.get_detection("a0")
+        assert record.process_seconds == 1.25
+        assert np.array_equal(record.noisy_ids, [7, 8, 9])
+        assert np.array_equal(fresh.clean_inventory_ids, [2, 5, 9])
+
+    def test_strict_unknown_dataset_raises(self, tmp_path):
+        catalog = make_catalog()
+        path = str(tmp_path / "catalog.json")
+        save_catalog(catalog, path)
+        fresh = DataLakeCatalog(catalog.inventory)  # 'a0' not registered
+        with pytest.raises(KeyError):
+            load_catalog_state(fresh, path, strict=True)
+
+    def test_lenient_skips_unknown(self, tmp_path):
+        catalog = make_catalog()
+        path = str(tmp_path / "catalog.json")
+        save_catalog(catalog, path)
+        fresh = DataLakeCatalog(catalog.inventory)
+        assert load_catalog_state(fresh, path, strict=False) == 0
+        # Clean ids still restored.
+        assert len(fresh.clean_inventory_ids) == 3
+
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"version": 99, "records": [],
+                       "clean_inventory_ids": []}, fh)
+        with pytest.raises(ValueError, match="version"):
+            load_catalog_state(DataLakeCatalog(
+                LabeledDataset(np.zeros((1, 1)), np.zeros(1, dtype=int))),
+                path)

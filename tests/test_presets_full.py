@@ -1,0 +1,58 @@
+"""Configuration-path tests for every preset size and dataset.
+
+The ``full`` presets approximate the paper's configuration; they are
+too slow to *run* in CI, but their configs must always construct and
+carry the paper's parameter choices.
+"""
+
+import pytest
+
+from repro.datasets import get_preset
+from repro.experiments.presets import bench_preset, full_preset, small_preset
+
+DATASETS = ("emnist_like", "cifar100_like", "tiny_imagenet_like")
+
+
+class TestFullPresets:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_constructs_valid_config(self, dataset):
+        preset = full_preset(dataset)
+        config = preset.enld_config()
+        assert config.contrastive_k == 3       # §V-A6
+        assert config.steps_per_iteration == 5  # s = 5
+        assert config.warmup_epochs == 2
+
+    def test_paper_iteration_counts(self):
+        assert full_preset("emnist_like").iterations == 5
+        assert full_preset("cifar100_like").iterations == 17
+        assert full_preset("tiny_imagenet_like").iterations == 17
+
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_full_scale_spec_larger_than_bench(self, dataset):
+        full_spec = get_preset(dataset, scale="full")
+        bench_spec = get_preset(dataset, scale="bench")
+        assert full_spec.samples_per_class > bench_spec.samples_per_class
+        assert full_spec.num_classes == bench_spec.num_classes
+
+    def test_full_runs_all_shards(self):
+        assert full_preset("cifar100_like").shard_limit is None
+
+
+class TestPresetMatrix:
+    @pytest.mark.parametrize("factory", [bench_preset, full_preset])
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_every_combination_constructs(self, factory, dataset):
+        preset = factory(dataset)
+        assert preset.dataset_preset == dataset
+        assert preset.enld_config() is not None
+
+    def test_small_preset_defaults(self):
+        preset = small_preset("toy")
+        assert preset.noise_rates == (0.2,)
+        assert preset.shard_limit == 2
+
+    def test_topofilter_tuning_differs_by_dataset(self):
+        emnist = bench_preset("emnist_like")
+        cifar = bench_preset("cifar100_like")
+        assert emnist.topofilter_knn_k != cifar.topofilter_knn_k
+        assert cifar.topofilter_mixup is not None

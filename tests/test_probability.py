@@ -1,0 +1,129 @@
+"""Tests for repro.core.probability (Eq. 3–5 and label sampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.probability import (conditional_from_joint,
+                                    estimate_conditional,
+                                    estimate_joint_counts,
+                                    sample_probable_true_labels)
+
+joint_matrices = hnp.arrays(
+    dtype=np.int64, shape=st.tuples(st.integers(2, 8)).map(lambda t: (t[0],
+                                                                      t[0])),
+    elements=st.integers(0, 50))
+
+
+class TestJointCounts:
+    def test_counts(self):
+        observed = np.array([0, 0, 1, 1, 1])
+        predicted = np.array([0, 1, 1, 1, 0])
+        joint = estimate_joint_counts(observed, predicted, 2)
+        assert np.array_equal(joint, [[1, 1], [1, 2]])
+        assert joint.sum() == 5
+
+    def test_alignment_check(self):
+        with pytest.raises(ValueError):
+            estimate_joint_counts(np.zeros(3, dtype=int),
+                                  np.zeros(2, dtype=int), 2)
+
+    @given(st.integers(2, 6), st.integers(1, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_total_preserved(self, classes, n):
+        rng = np.random.default_rng(0)
+        obs = rng.integers(0, classes, size=n)
+        pred = rng.integers(0, classes, size=n)
+        assert estimate_joint_counts(obs, pred, classes).sum() == n
+
+
+class TestConditional:
+    def test_row_normalisation(self):
+        joint = np.array([[8, 2], [1, 9]])
+        cond = conditional_from_joint(joint)
+        assert np.allclose(cond.sum(axis=1), 1.0)
+        assert np.allclose(cond[0], [0.8, 0.2])
+
+    def test_empty_row_falls_back_to_identity(self):
+        joint = np.array([[0, 0], [3, 1]])
+        cond = conditional_from_joint(joint)
+        assert np.allclose(cond[0], [1.0, 0.0])
+        assert np.allclose(cond.sum(axis=1), 1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            conditional_from_joint(np.ones((2, 3)))
+
+    @given(joint_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_always_row_stochastic(self, joint):
+        cond = conditional_from_joint(joint)
+        assert np.allclose(cond.sum(axis=1), 1.0)
+        assert (cond >= 0).all()
+
+
+class TestEstimateConditional:
+    def test_perfect_model_gives_noise_structure(self, trained_blob_model,
+                                                 blobs, rng):
+        """With a near-perfect model, P̃ ≈ the true transition structure."""
+        from repro.noise import corrupt_labels, pair_asymmetric
+        noisy = corrupt_labels(blobs, pair_asymmetric(3, 0.3), rng)
+        cond = estimate_conditional(trained_blob_model, noisy)
+        # Rows: observed class i → mass on i (clean part) and i-1
+        # (the true class that got flipped into i).
+        assert np.allclose(cond.sum(axis=1), 1.0)
+        for i in range(3):
+            assert cond[i, i] > 0.4
+
+    def test_clean_labels_give_near_identity(self, trained_blob_model, blobs):
+        cond = estimate_conditional(trained_blob_model, blobs)
+        assert np.all(np.diag(cond) >= 0.8)
+
+
+class TestSampleProbableTrueLabels:
+    def test_restriction_to_allowed(self, rng):
+        cond = np.full((4, 4), 0.25)
+        observed = np.array([0, 1, 2, 3] * 20)
+        out = sample_probable_true_labels(observed, cond,
+                                          np.array([1, 2]), rng)
+        assert set(np.unique(out)) <= {1, 2}
+
+    def test_deterministic_row(self, rng):
+        cond = np.eye(3)
+        observed = np.array([2, 0, 1])
+        out = sample_probable_true_labels(observed, cond,
+                                          np.arange(3), rng)
+        assert np.array_equal(out, observed)
+
+    def test_empirical_distribution_matches(self):
+        cond = np.array([[0.7, 0.3], [0.2, 0.8]])
+        observed = np.zeros(4000, dtype=int)
+        out = sample_probable_true_labels(observed, cond, np.arange(2),
+                                          np.random.default_rng(0))
+        frac1 = (out == 1).mean()
+        assert abs(frac1 - 0.3) < 0.03
+
+    def test_zero_mass_falls_back_to_observed(self, rng):
+        # Row 0 has all mass on class 2, which is not allowed; class 0
+        # itself is allowed → fall back to it.
+        cond = np.array([[0.0, 0.0, 1.0],
+                         [0.0, 1.0, 0.0],
+                         [0.0, 0.0, 1.0]])
+        out = sample_probable_true_labels(np.array([0]), cond,
+                                          np.array([0, 1]), rng)
+        assert out[0] == 0
+
+    def test_zero_mass_uniform_when_observed_not_allowed(self, rng):
+        cond = np.array([[0.0, 0.0, 1.0],
+                         [0.0, 1.0, 0.0],
+                         [0.0, 0.0, 1.0]])
+        out = sample_probable_true_labels(np.zeros(200, dtype=int), cond,
+                                          np.array([1]), rng)
+        assert (out == 1).all()
+
+    def test_empty_allowed_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_probable_true_labels(np.array([0]), np.eye(2),
+                                        np.array([]), rng)

@@ -1,0 +1,99 @@
+"""Tests for repro.core.samplesets (Definition 1 and the §IV-E filter)."""
+
+import numpy as np
+import pytest
+
+from repro.core.samplesets import (ModelView, ambiguous_mask, compute_view,
+                                   high_quality_mask)
+from repro.noise.injector import MISSING_LABEL
+from repro.nn.data import LabeledDataset
+
+
+def make_view(probs):
+    probs = np.asarray(probs, dtype=float)
+    return ModelView(probs=probs, features=np.zeros((len(probs), 2)))
+
+
+class TestModelView:
+    def test_predictions_and_confidences(self):
+        view = make_view([[0.9, 0.1], [0.3, 0.7]])
+        assert np.array_equal(view.predictions, [0, 1])
+        assert np.allclose(view.confidences, [0.9, 0.7])
+        assert len(view) == 2
+
+    def test_alignment_check(self):
+        with pytest.raises(ValueError):
+            ModelView(probs=np.zeros((3, 2)), features=np.zeros((2, 2)))
+
+    def test_compute_view(self, trained_blob_model, blobs):
+        view = compute_view(trained_blob_model, blobs)
+        assert len(view) == len(blobs)
+        assert np.allclose(view.probs.sum(axis=1), 1.0)
+        assert view.features.shape[1] == trained_blob_model.feature_dim
+
+
+class TestAmbiguous:
+    def test_definition(self):
+        ds = LabeledDataset(np.zeros((3, 1)), np.array([0, 1, 0]))
+        view = make_view([[0.9, 0.1], [0.9, 0.1], [0.2, 0.8]])
+        # predictions: 0, 0, 1 → disagreements at rows 1 and 2.
+        assert np.array_equal(ambiguous_mask(ds, view),
+                              [False, True, True])
+
+    def test_missing_labels_never_ambiguous(self):
+        ds = LabeledDataset(np.zeros((2, 1)),
+                            np.array([MISSING_LABEL, 1]))
+        view = make_view([[0.9, 0.1], [0.9, 0.1]])
+        assert np.array_equal(ambiguous_mask(ds, view), [False, True])
+
+    def test_alignment_check(self):
+        ds = LabeledDataset(np.zeros((3, 1)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            ambiguous_mask(ds, make_view([[1.0, 0.0]]))
+
+
+class TestHighQuality:
+    def test_agreement_without_filter(self):
+        ds = LabeledDataset(np.zeros((3, 1)), np.array([0, 1, 1]))
+        view = make_view([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        got = high_quality_mask(ds, view, confidence_filter=False)
+        assert np.array_equal(got, [True, True, False])
+
+    def test_confidence_filter_drops_below_class_average(self):
+        ds = LabeledDataset(np.zeros((3, 1)), np.array([0, 0, 0]))
+        # All predicted class 0 and agree; confidences 0.95, 0.9, 0.55.
+        view = make_view([[0.95, 0.05], [0.9, 0.1], [0.55, 0.45]])
+        got = high_quality_mask(ds, view, confidence_filter=True)
+        # Average confidence = 0.8 → the 0.55 sample is filtered out.
+        assert np.array_equal(got, [True, True, False])
+
+    def test_missing_labels_never_high_quality(self):
+        ds = LabeledDataset(np.zeros((2, 1)),
+                            np.array([MISSING_LABEL, 0]))
+        view = make_view([[0.9, 0.1], [0.9, 0.1]])
+        got = high_quality_mask(ds, view, confidence_filter=False)
+        assert np.array_equal(got, [False, True])
+
+    def test_filter_is_per_class(self):
+        ds = LabeledDataset(np.zeros((4, 1)), np.array([0, 0, 1, 1]))
+        view = make_view([[0.99, 0.01], [0.97, 0.03],
+                          [0.4, 0.6], [0.45, 0.55]])
+        got = high_quality_mask(ds, view, confidence_filter=True)
+        # Both classes keep their above-average member(s); the filter
+        # never mixes thresholds across classes.
+        assert got[0] or got[1]
+        assert got[2] or got[3]
+
+    def test_on_trained_model(self, trained_blob_model, blobs, rng):
+        from repro.noise import corrupt_labels, pair_asymmetric
+        noisy = corrupt_labels(blobs, pair_asymmetric(3, 0.3), rng)
+        view = compute_view(trained_blob_model, noisy)
+        hq = high_quality_mask(noisy, view)
+        amb = ambiguous_mask(noisy, view)
+        # HQ and ambiguous are disjoint by definition.
+        assert not (hq & amb).any()
+        # High-quality samples should be overwhelmingly clean.
+        clean = noisy.y == noisy.true_y
+        assert clean[hq].mean() > 0.9
+        # Ambiguous samples should be noise-enriched.
+        assert (~clean)[amb].mean() > (~clean).mean()

@@ -1,0 +1,118 @@
+"""Tests for repro.core.scheduler (model-update triggers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectionResult
+from repro.core.scheduler import (AnyOf, CleanPoolGrowth,
+                                  DetectionDegradation, EveryNArrivals)
+
+
+def make_result(n_clean=8, n_noisy=2, clean_positions=()):
+    n = n_clean + n_noisy
+    clean = np.zeros(n, dtype=bool)
+    clean[:n_clean] = True
+    return DetectionResult(
+        clean_mask=clean, noisy_mask=~clean,
+        inventory_clean_positions=np.asarray(clean_positions, dtype=int),
+        pseudo_labels=np.full(n, -1))
+
+
+class TestEveryN:
+    def test_triggers_at_n(self):
+        sched = EveryNArrivals(3)
+        for _ in range(2):
+            sched.observe(make_result())
+            assert not sched.should_update()
+        sched.observe(make_result())
+        assert sched.should_update()
+
+    def test_reset_after_update(self):
+        sched = EveryNArrivals(1)
+        sched.observe(make_result())
+        assert sched.should_update()
+        sched.notify_updated()
+        assert not sched.should_update()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EveryNArrivals(0)
+
+
+class TestCleanPoolGrowth:
+    def test_counts_unique_positions(self):
+        sched = CleanPoolGrowth(4)
+        sched.observe(make_result(clean_positions=[1, 2]))
+        assert not sched.should_update()
+        sched.observe(make_result(clean_positions=[2, 3]))  # 2 is dup
+        assert not sched.should_update()
+        sched.observe(make_result(clean_positions=[4]))
+        assert sched.should_update()
+
+    def test_reset(self):
+        sched = CleanPoolGrowth(1)
+        sched.observe(make_result(clean_positions=[0]))
+        sched.notify_updated()
+        assert not sched.should_update()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CleanPoolGrowth(0)
+
+
+class TestDegradation:
+    def test_no_trigger_before_window_filled(self):
+        sched = DetectionDegradation(window=3, tolerance=0.1)
+        sched.observe(make_result(5, 5))
+        sched.observe(make_result(5, 5))
+        assert not sched.should_update()
+
+    def test_stable_rate_no_trigger(self):
+        sched = DetectionDegradation(window=3, tolerance=0.1)
+        for _ in range(5):
+            sched.observe(make_result(8, 2))
+        assert not sched.should_update()
+
+    def test_spike_triggers(self):
+        sched = DetectionDegradation(window=3, tolerance=0.1)
+        sched.observe(make_result(9, 1))
+        sched.observe(make_result(9, 1))
+        sched.observe(make_result(2, 8))  # flagged fraction jumps
+        assert sched.should_update()
+
+    def test_reset(self):
+        sched = DetectionDegradation(window=2, tolerance=0.05)
+        sched.observe(make_result(9, 1))
+        sched.observe(make_result(1, 9))
+        assert sched.should_update()
+        sched.notify_updated()
+        assert not sched.should_update()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectionDegradation(window=1)
+        with pytest.raises(ValueError):
+            DetectionDegradation(tolerance=0.0)
+
+
+class TestAnyOf:
+    def test_any_member_triggers(self):
+        sched = AnyOf([EveryNArrivals(5), CleanPoolGrowth(1)])
+        sched.observe(make_result(clean_positions=[7]))
+        assert sched.should_update()
+
+    def test_none_trigger(self):
+        sched = AnyOf([EveryNArrivals(5), CleanPoolGrowth(10)])
+        sched.observe(make_result(clean_positions=[7]))
+        assert not sched.should_update()
+
+    def test_reset_propagates(self):
+        inner = EveryNArrivals(1)
+        sched = AnyOf([inner])
+        sched.observe(make_result())
+        sched.notify_updated()
+        assert not inner.should_update()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf([])

@@ -1,0 +1,118 @@
+"""Tests for repro.eval.significance and instance-dependent noise."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectionResult
+from repro.eval.metrics import score_masks
+from repro.eval.runner import MethodReport, ShardOutcome
+from repro.eval.significance import paired_bootstrap
+from repro.noise import instance_dependent_noise
+from repro.nn.data import LabeledDataset
+
+
+def report_from_f1s(name, f1s):
+    """Fabricate a report whose per-shard f1 values equal ``f1s``."""
+    report = MethodReport(method=name)
+    for i, f1 in enumerate(f1s):
+        # Build masks realising the wanted f1: f1=1 → perfect; f1=0 → miss.
+        n = 10
+        truth = np.zeros(n, dtype=bool)
+        truth[:5] = True
+        if f1 >= 0.999:
+            detected = truth.copy()
+        elif f1 <= 0.001:
+            detected = ~truth
+        else:
+            # partial: detect a fraction of the truth
+            detected = np.zeros(n, dtype=bool)
+            hits = max(int(round(f1 * 5)), 1)
+            detected[:hits] = True
+        score = score_masks(detected, truth)
+        result = DetectionResult(
+            clean_mask=~detected, noisy_mask=detected,
+            inventory_clean_positions=np.empty(0, dtype=int),
+            pseudo_labels=np.full(n, -1))
+        report.add(ShardOutcome(f"s{i}", score, 0.1, 0, result))
+    return report
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_significant(self):
+        a = report_from_f1s("a", [1.0] * 8)
+        b = report_from_f1s("b", [0.0] * 8)
+        cmp = paired_bootstrap(a, b, num_resamples=2000)
+        assert cmp.significant
+        assert cmp.mean_difference > 0.9
+        assert cmp.ci_low > 0
+
+    def test_identical_methods_not_significant(self):
+        a = report_from_f1s("a", [1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+        b = report_from_f1s("b", [1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+        cmp = paired_bootstrap(a, b, num_resamples=2000)
+        assert not cmp.significant
+        assert cmp.mean_difference == 0.0
+
+    def test_shard_mismatch_rejected(self):
+        a = report_from_f1s("a", [1.0])
+        b = report_from_f1s("b", [1.0, 0.5])
+        with pytest.raises(ValueError, match="identical shard"):
+            paired_bootstrap(a, b)
+
+    def test_empty_rejected(self):
+        a = MethodReport(method="a")
+        b = MethodReport(method="b")
+        with pytest.raises(ValueError, match="no shards"):
+            paired_bootstrap(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = report_from_f1s("a", [1.0, 0.6, 0.8, 0.9])
+        b = report_from_f1s("b", [0.6, 0.6, 0.7, 0.8])
+        c1 = paired_bootstrap(a, b, seed=3)
+        c2 = paired_bootstrap(a, b, seed=3)
+        assert c1 == c2
+
+
+class TestInstanceDependentNoise:
+    def make(self, n=400, classes=4):
+        y = np.tile(np.arange(classes), n // classes)
+        return LabeledDataset(np.zeros((n, 2)), y, true_y=y.copy())
+
+    def test_mean_rate_matches(self, rng):
+        ds = self.make()
+        difficulty = np.ones(len(ds))
+        noisy = instance_dependent_noise(ds, 0.3, difficulty, rng)
+        assert abs(noisy.noise_rate() - 0.3) < 0.06
+
+    def test_difficult_samples_flip_more(self):
+        ds = self.make(n=2000)
+        difficulty = np.zeros(len(ds))
+        difficulty[:1000] = 1.0  # only the first half can flip
+        noisy = instance_dependent_noise(ds, 0.2,
+                                         difficulty,
+                                         np.random.default_rng(0))
+        flipped = noisy.y != noisy.true_y
+        assert flipped[:1000].mean() > 0.3
+        assert flipped[1000:].sum() == 0
+
+    def test_flips_to_adjacent_class(self, rng):
+        ds = self.make()
+        noisy = instance_dependent_noise(ds, 0.4, np.ones(len(ds)), rng)
+        flipped = noisy.y != noisy.true_y
+        assert np.array_equal(noisy.y[flipped],
+                              (noisy.true_y[flipped] + 1) % 4)
+
+    def test_validation(self, rng):
+        ds = self.make()
+        with pytest.raises(ValueError):
+            instance_dependent_noise(ds, 1.2, np.ones(len(ds)), rng)
+        with pytest.raises(ValueError):
+            instance_dependent_noise(ds, 0.2, np.ones(3), rng)
+        with pytest.raises(ValueError):
+            instance_dependent_noise(ds, 0.2, -np.ones(len(ds)), rng)
+        with pytest.raises(ValueError):
+            instance_dependent_noise(ds, 0.2, np.zeros(len(ds)), rng)
+        without_truth = LabeledDataset(ds.x, ds.y)
+        with pytest.raises(ValueError):
+            instance_dependent_noise(without_truth, 0.2,
+                                     np.ones(len(ds)), rng)

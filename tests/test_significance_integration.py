@@ -1,0 +1,56 @@
+"""Integration: paired bootstrap on real detector reports.
+
+Ties the significance machinery to the actual experiment pipeline —
+the statistical claim behind every "method A beats method B" statement
+in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ENLD, ArrivalStream, ENLDConfig
+from repro.baselines import DefaultDetector
+from repro.datasets import (generate, paper_shard_plan,
+                            split_inventory_incremental, toy)
+from repro.eval import paired_bootstrap, run_detector
+from repro.noise import corrupt_labels, pair_asymmetric
+
+
+@pytest.fixture(scope="module")
+def reports():
+    data = generate(toy(num_classes=6, samples_per_class=90), seed=81)
+    rng = np.random.default_rng(82)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(6, 0.25)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    arrivals = ArrivalStream(pool, paper_shard_plan("toy"),
+                             transition=transition, seed=83).arrivals()
+    enld = ENLD(ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
+                           init_epochs=15, iterations=3,
+                           seed=84)).initialize(inventory)
+    return {
+        "enld": run_detector(enld, arrivals, "enld"),
+        "default": run_detector(DefaultDetector(enld.model), arrivals,
+                                "default"),
+    }
+
+
+class TestBootstrapOnRealRuns:
+    def test_comparison_runs(self, reports):
+        cmp = paired_bootstrap(reports["enld"], reports["default"],
+                               num_resamples=3000, seed=1)
+        assert cmp.method_a == "enld"
+        assert cmp.num_shards == len(reports["enld"].outcomes)
+        assert cmp.ci_low <= cmp.mean_difference <= cmp.ci_high
+
+    def test_direction_matches_means(self, reports):
+        cmp = paired_bootstrap(reports["enld"], reports["default"],
+                               num_resamples=3000, seed=1)
+        expected = (reports["enld"].mean_f1
+                    - reports["default"].mean_f1)
+        assert np.isclose(cmp.mean_difference, expected)
+
+    def test_other_metrics_supported(self, reports):
+        cmp = paired_bootstrap(reports["enld"], reports["default"],
+                               metric="recall", num_resamples=1000)
+        assert -1.0 <= cmp.mean_difference <= 1.0

@@ -1,0 +1,126 @@
+"""Tests for repro.datasets.splits (inventory/incremental sharding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.splits import (ShardPlan, make_incremental_shards,
+                                   paper_shard_plan,
+                                   split_inventory_incremental)
+from repro.nn.data import LabeledDataset
+
+
+def pool_dataset(n_classes=8, per_class=12):
+    y = np.repeat(np.arange(n_classes), per_class)
+    x = np.random.default_rng(0).normal(size=(len(y), 3))
+    return LabeledDataset(x, y, true_y=y.copy(), name="pool")
+
+
+class TestInventorySplit:
+    def test_two_to_one_ratio(self, rng):
+        ds = pool_dataset()
+        inv, inc = split_inventory_incremental(ds, rng)
+        assert len(inv) + len(inc) == len(ds)
+        assert abs(len(inv) - 2 * len(inc)) <= 2
+
+    def test_disjoint_ids(self, rng):
+        inv, inc = split_inventory_incremental(pool_dataset(), rng)
+        assert set(inv.ids) & set(inc.ids) == set()
+
+    def test_custom_fraction(self, rng):
+        inv, inc = split_inventory_incremental(pool_dataset(), rng,
+                                               inventory_fraction=0.5)
+        assert abs(len(inv) - len(inc)) <= 1
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            split_inventory_incremental(pool_dataset(), rng,
+                                        inventory_fraction=1.5)
+
+
+class TestShardPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(num_shards=0, classes_per_shard=2)
+        with pytest.raises(ValueError):
+            ShardPlan(num_shards=2, classes_per_shard=0)
+        with pytest.raises(ValueError):
+            ShardPlan(num_shards=2, classes_per_shard=2, dirichlet_alpha=0)
+
+    def test_paper_plans(self):
+        assert paper_shard_plan("emnist_like").num_shards == 10
+        assert paper_shard_plan("cifar100_like").num_shards == 20
+        assert paper_shard_plan("cifar100_like").classes_per_shard == 10
+        assert paper_shard_plan("tiny_imagenet_like").classes_per_shard == 20
+        with pytest.raises(KeyError, match="available"):
+            paper_shard_plan("mnist")
+
+
+class TestSharding:
+    def test_shards_partition_pool(self, rng):
+        pool = pool_dataset()
+        plan = ShardPlan(num_shards=4, classes_per_shard=3)
+        shards = make_incremental_shards(pool, plan, rng)
+        all_ids = np.concatenate([s.ids for s in shards])
+        assert sorted(all_ids.tolist()) == sorted(pool.ids.tolist())
+
+    def test_shard_class_limit(self, rng):
+        pool = pool_dataset()
+        plan = ShardPlan(num_shards=4, classes_per_shard=3)
+        for shard in make_incremental_shards(pool, plan, rng):
+            assert len(np.unique(shard.y)) <= 3
+
+    def test_every_class_covered(self, rng):
+        pool = pool_dataset(n_classes=10)
+        plan = ShardPlan(num_shards=5, classes_per_shard=3)
+        shards = make_incremental_shards(pool, plan, rng)
+        covered = set()
+        for shard in shards:
+            covered.update(np.unique(shard.y).tolist())
+        assert covered == set(range(10))
+
+    def test_capacity_check(self, rng):
+        pool = pool_dataset(n_classes=10)
+        plan = ShardPlan(num_shards=2, classes_per_shard=3)
+        with pytest.raises(ValueError, match="cannot cover"):
+            make_incremental_shards(pool, plan, rng)
+
+    def test_unbalanced_distribution(self, rng):
+        """Dirichlet weighting must produce non-uniform class counts."""
+        pool = pool_dataset(n_classes=4, per_class=100)
+        plan = ShardPlan(num_shards=4, classes_per_shard=4,
+                         dirichlet_alpha=0.3)
+        shards = make_incremental_shards(pool, plan, rng)
+        counts = np.array([s.class_counts(num_classes=4) for s in shards])
+        # At least one class split is clearly unbalanced across shards.
+        spread = counts.max(axis=0) - counts.min(axis=0)
+        assert spread.max() > 20
+
+    def test_deterministic_given_rng_seed(self):
+        pool = pool_dataset()
+        plan = ShardPlan(num_shards=3, classes_per_shard=4)
+        a = make_incremental_shards(pool, plan, np.random.default_rng(9))
+        b = make_incremental_shards(pool, plan, np.random.default_rng(9))
+        for sa, sb in zip(a, b):
+            assert np.array_equal(sa.ids, sb.ids)
+
+    def test_preserves_truth(self, rng):
+        pool = pool_dataset()
+        plan = ShardPlan(num_shards=3, classes_per_shard=4)
+        for shard in make_incremental_shards(pool, plan, rng):
+            assert shard.true_y is not None
+            assert np.array_equal(shard.y, shard.true_y)  # pool is clean
+
+    @given(st.integers(2, 8), st.integers(2, 6), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_property(self, n_classes, n_shards, cps):
+        if n_shards * cps < n_classes:
+            return  # infeasible plan, covered by capacity test
+        y = np.repeat(np.arange(n_classes), 5)
+        pool = LabeledDataset(np.zeros((len(y), 2)), y)
+        plan = ShardPlan(num_shards=n_shards, classes_per_shard=cps)
+        shards = make_incremental_shards(pool, plan,
+                                         np.random.default_rng(0))
+        total = sum(len(s) for s in shards)
+        assert total == len(pool)

@@ -1,0 +1,151 @@
+"""Tests for repro.datasets.synthetic and repro.datasets.registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.registry import (available_presets, cifar100_like,
+                                     emnist_like, get_preset,
+                                     tiny_imagenet_like, toy)
+from repro.datasets.synthetic import (SyntheticSpec, generate,
+                                      generate_images, make_prototypes)
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        spec = SyntheticSpec(num_classes=4, samples_per_class=10)
+        assert spec.total_samples == 40
+        assert spec.feature_dim == 256
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=1, samples_per_class=10)
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=3, samples_per_class=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=3, samples_per_class=5, class_corr=1.0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=3, samples_per_class=5,
+                          noise_scale=-0.1)
+
+    @given(st.integers(2, 20), st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_total_samples_property(self, classes, per_class):
+        spec = SyntheticSpec(num_classes=classes,
+                             samples_per_class=per_class)
+        assert spec.total_samples == classes * per_class
+
+
+class TestPrototypes:
+    def test_shape_and_unit_norm(self):
+        spec = SyntheticSpec(num_classes=5, samples_per_class=1,
+                             image_shape=(1, 8, 8))
+        protos = make_prototypes(spec, np.random.default_rng(0))
+        assert protos.shape == (5, 1, 8, 8)
+        norms = np.linalg.norm(protos.reshape(5, -1), axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_adjacent_correlation_increases_with_corr(self):
+        def mean_adjacent_cos(corr):
+            spec = SyntheticSpec(num_classes=20, samples_per_class=1,
+                                 image_shape=(1, 8, 8), class_corr=corr)
+            p = make_prototypes(spec, np.random.default_rng(1))
+            flat = p.reshape(20, -1)
+            cos = (flat[:-1] * flat[1:]).sum(axis=1)
+            return cos.mean()
+
+        assert mean_adjacent_cos(0.8) > mean_adjacent_cos(0.2)
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        spec = toy()
+        a = generate(spec, seed=3)
+        b = generate(spec, seed=3)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        spec = toy()
+        assert not np.array_equal(generate(spec, seed=1).x,
+                                  generate(spec, seed=2).x)
+
+    def test_class_balance(self):
+        spec = SyntheticSpec(num_classes=4, samples_per_class=25,
+                             image_shape=(1, 6, 6))
+        data = generate(spec, seed=0)
+        assert np.array_equal(np.bincount(data.y), [25] * 4)
+
+    def test_labels_initially_clean(self):
+        data = generate(toy(), seed=0)
+        assert data.noise_rate() == 0.0
+
+    def test_learnable_by_simple_model(self):
+        """The generator's whole point: a model must be able to learn it."""
+        from repro.nn.models import MLPClassifier
+        from repro.nn.train import fit
+        from repro.nn.metrics import evaluate_accuracy
+        data = generate(toy(), seed=4)
+        gen = np.random.default_rng(0)
+        model = MLPClassifier(data.feature_dim, data.num_classes,
+                              hidden=48, rng=gen)
+        fit(model, data, epochs=12, rng=gen, lr=0.05)
+        assert evaluate_accuracy(model, data) > 0.8
+
+    def test_harder_spec_is_harder(self):
+        """Higher class_corr + noise → lower attainable accuracy."""
+        from repro.nn.models import MLPClassifier
+        from repro.nn.train import fit
+        from repro.nn.metrics import evaluate_accuracy
+
+        def acc_for(corr, noise):
+            spec = SyntheticSpec(num_classes=8, samples_per_class=30,
+                                 image_shape=(1, 6, 6), class_corr=corr,
+                                 noise_scale=noise)
+            data = generate(spec, seed=5)
+            gen = np.random.default_rng(1)
+            model = MLPClassifier(data.feature_dim, 8, hidden=32, rng=gen)
+            fit(model, data, epochs=10, rng=gen, lr=0.05)
+            return evaluate_accuracy(model, data)
+
+        assert acc_for(0.1, 0.3) > acc_for(0.85, 1.2)
+
+    def test_generate_images_shape(self):
+        spec = SyntheticSpec(num_classes=3, samples_per_class=4,
+                             image_shape=(3, 8, 8))
+        data = generate_images(spec, seed=0)
+        assert data.x.shape == (12, 3, 8, 8)
+        flat = generate(spec, seed=0)
+        assert np.allclose(data.x.reshape(12, -1), flat.x)
+
+
+class TestRegistry:
+    def test_paper_class_counts(self):
+        assert emnist_like().num_classes == 26
+        assert cifar100_like().num_classes == 100
+        assert tiny_imagenet_like().num_classes == 200
+
+    def test_difficulty_ordering(self):
+        """EMNIST-like must be easier than Tiny-ImageNet-like."""
+        e, t = emnist_like(), tiny_imagenet_like()
+        assert e.class_corr < t.class_corr
+        assert e.noise_scale < t.noise_scale
+
+    def test_scales(self):
+        assert (emnist_like("full").samples_per_class
+                > emnist_like("bench").samples_per_class
+                > emnist_like("small").samples_per_class)
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError, match="scale"):
+            emnist_like("huge")
+
+    def test_get_preset_lookup(self):
+        assert get_preset("toy").name == "toy"
+        with pytest.raises(KeyError, match="available"):
+            get_preset("imagenet")
+
+    def test_available_presets(self):
+        assert set(available_presets()) >= {
+            "emnist_like", "cifar100_like", "tiny_imagenet_like", "toy"}

@@ -1,0 +1,161 @@
+"""Tests for repro.nn.train, repro.nn.mixup, repro.nn.serialize,
+repro.nn.metrics."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.data import LabeledDataset
+from repro.nn.metrics import accuracy, confusion_matrix, evaluate_accuracy
+from repro.nn.mixup import mixup_batch
+from repro.nn.models import MLPClassifier
+from repro.nn.optim import SGD
+from repro.nn.serialize import (clone_module, copy_into, load_checkpoint,
+                                save_checkpoint)
+from repro.nn.train import evaluate_loss, fit, fit_epoch
+
+
+class TestMixup:
+    def test_shapes_and_convexity(self, rng):
+        x = rng.normal(size=(10, 4))
+        y = rng.integers(0, 3, size=10)
+        mx, mt = mixup_batch(x, y, 3, rng, alpha=0.2)
+        assert mx.shape == x.shape
+        assert mt.shape == (10, 3)
+        assert np.allclose(mt.sum(axis=1), 1.0)
+        # Mixed inputs stay within the convex hull of min/max per feature.
+        assert mx.min() >= x.min() - 1e-12
+        assert mx.max() <= x.max() + 1e-12
+
+    def test_lambda_one_recovers_original(self, rng):
+        # With alpha tiny, lambda is almost surely near 0 or 1, so the
+        # mixture nearly equals one of the two inputs.
+        x = rng.normal(size=(6, 2))
+        y = rng.integers(0, 2, size=6)
+        mx, mt = mixup_batch(x, y, 2, rng, alpha=0.01)
+        closest = min(np.abs(mx - x).max(), 1.0)
+        assert closest < 1.0  # sanity: mixing happened at all
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(ValueError):
+            mixup_batch(np.zeros((2, 2)), np.zeros(2, dtype=int), 2, rng,
+                        alpha=0.0)
+
+
+class TestFit:
+    def test_loss_decreases_on_separable_data(self, blobs, rng):
+        model = MLPClassifier(5, 3, hidden=16, rng=rng)
+        report = fit(model, blobs, epochs=6, rng=rng, lr=0.05)
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+        assert report.samples_processed == 6 * len(blobs)
+
+    def test_reaches_high_accuracy(self, trained_blob_model, blobs):
+        assert evaluate_accuracy(trained_blob_model, blobs) >= 0.93
+
+    def test_mixup_training_works(self, blobs, rng):
+        model = MLPClassifier(5, 3, hidden=16, rng=rng)
+        report = fit(model, blobs, epochs=6, rng=rng, lr=0.05,
+                     mixup_alpha=0.2)
+        assert evaluate_accuracy(model, blobs) > 0.9
+        assert len(report.epoch_losses) == 6
+
+    def test_keep_best_restores_best_checkpoint(self, blobs, rng):
+        model = MLPClassifier(5, 3, hidden=16, rng=rng)
+        report = fit(model, blobs, epochs=5, rng=rng, lr=0.05,
+                     validate_on=blobs, keep_best=True)
+        final_acc = evaluate_accuracy(model, blobs)
+        assert np.isclose(final_acc, max(report.val_accuracies), atol=1e-9)
+
+    def test_zero_epochs(self, blobs, rng):
+        model = MLPClassifier(5, 3, rng=rng)
+        report = fit(model, blobs, epochs=0, rng=rng)
+        assert report.epoch_losses == []
+
+    def test_negative_epochs_rejected(self, blobs, rng):
+        with pytest.raises(ValueError):
+            fit(MLPClassifier(5, 3, rng=rng), blobs, epochs=-1, rng=rng)
+
+    def test_empty_dataset_is_noop(self, rng):
+        model = MLPClassifier(5, 3, rng=rng)
+        empty = LabeledDataset(np.zeros((0, 5)), np.zeros(0, dtype=int))
+        opt = SGD(model.parameters(), lr=0.1)
+        loss, n = fit_epoch(model, empty, opt, rng)
+        assert (loss, n) == (0.0, 0)
+
+    def test_final_loss_property(self, blobs, rng):
+        model = MLPClassifier(5, 3, rng=rng)
+        report = fit(model, blobs, epochs=2, rng=rng)
+        assert report.final_loss == report.epoch_losses[-1]
+
+
+class TestEvaluateLoss:
+    def test_matches_cross_entropy(self, trained_blob_model, blobs):
+        loss = evaluate_loss(trained_blob_model, blobs)
+        assert loss < 0.5  # well-trained
+
+    def test_true_label_option(self, trained_blob_model, blobs):
+        a = evaluate_loss(trained_blob_model, blobs)
+        b = evaluate_loss(trained_blob_model, blobs, use_true_labels=True)
+        assert np.isclose(a, b)  # blobs are clean
+
+    def test_empty(self, trained_blob_model):
+        empty = LabeledDataset(np.zeros((0, 5)), np.zeros(0, dtype=int))
+        assert evaluate_loss(trained_blob_model, empty) == 0.0
+
+
+class TestSerialize:
+    def test_checkpoint_roundtrip(self, trained_blob_model, tmp_path, blobs):
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(trained_blob_model, path)
+        fresh = MLPClassifier(5, 3, hidden=32,
+                              rng=np.random.default_rng(77))
+        load_checkpoint(fresh, path)
+        x = blobs.x[:10]
+        assert np.allclose(fresh.predict_logits(x),
+                           trained_blob_model.predict_logits(x))
+
+    def test_load_rejects_non_checkpoint(self, tmp_path, rng):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises((ValueError, KeyError)):
+            load_checkpoint(MLPClassifier(2, 2, rng=rng), path)
+
+    def test_clone_is_independent(self, trained_blob_model, blobs):
+        clone = clone_module(trained_blob_model)
+        clone.parameters()[0].data[:] = 0.0
+        x = blobs.x[:5]
+        assert not np.allclose(clone.predict_logits(x),
+                               trained_blob_model.predict_logits(x))
+
+    def test_copy_into(self, trained_blob_model, rng, blobs):
+        dst = MLPClassifier(5, 3, hidden=32, rng=rng)
+        copy_into(trained_blob_model, dst)
+        x = blobs.x[:5]
+        assert np.allclose(dst.predict_logits(x),
+                           trained_blob_model.predict_logits(x))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == 2 / 3
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_accuracy_shape_check(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(2), np.zeros(3))
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 1, 1]), np.array([0, 0, 1]), 2)
+        assert np.array_equal(cm, [[1, 1], [0, 1]])
+        assert cm.sum() == 3
+
+    def test_evaluate_accuracy_true_labels(self, trained_blob_model, blobs):
+        noisy = blobs.with_labels((blobs.y + 1) % 3)
+        clean_acc = evaluate_accuracy(trained_blob_model, noisy,
+                                      use_true_labels=True)
+        noisy_acc = evaluate_accuracy(trained_blob_model, noisy)
+        assert clean_acc > 0.9
+        assert noisy_acc < 0.1
