@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench report examples lint trace-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,7 +23,20 @@ report:
 	$(PYTHON) -m repro report --results benchmarks/results -o EXPERIMENTS.md
 
 examples:
-	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+	@for f in examples/*.py; do echo "== $$f =="; \
+		PYTHONPATH=src $(PYTHON) $$f || exit 1; done
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro trace --quiet \
+		-o trace_smoke.json \
+		--baseline benchmarks/baselines/trace_smoke.json
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info

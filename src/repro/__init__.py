@@ -12,17 +12,20 @@ subpackages for the full API:
 - :mod:`repro.datalake`  — platform catalog and arrival simulation;
 - :mod:`repro.baselines` — Default / Confident Learning / Topofilter;
 - :mod:`repro.eval`      — detection metrics, timing, runners;
+- :mod:`repro.obs`       — pipeline tracing, counters, trace export;
 - :mod:`repro.experiments` — per-figure/table experiment drivers.
 """
 
 from .core import ENLD, DetectionResult, ENLDConfig
 from .datalake import ArrivalStream, DataLakeCatalog
 from .nn.data import LabeledDataset
+from .obs import Tracer, use_tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ENLD", "ENLDConfig", "DetectionResult",
     "LabeledDataset", "ArrivalStream", "DataLakeCatalog",
+    "Tracer", "use_tracer",
     "__version__",
 ]

@@ -10,6 +10,7 @@ import numpy as np
 from ..core.detector import DetectionResult
 from ..nn.data import LabeledDataset
 from ..noise.injector import MISSING_LABEL
+from ..obs import trace_span
 
 
 class NoisyLabelDetector(ABC):
@@ -29,7 +30,8 @@ class NoisyLabelDetector(ABC):
     def detect(self, dataset: LabeledDataset) -> DetectionResult:
         """Detect noisy labels; returns a timed :class:`DetectionResult`."""
         start = time.perf_counter()
-        result = self._detect(dataset)
+        with trace_span("detect"), trace_span(self.name):
+            result = self._detect(dataset)
         result.process_seconds = time.perf_counter() - start
         result.detector_name = self.name
         return result

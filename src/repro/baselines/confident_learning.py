@@ -21,14 +21,13 @@ dataset.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..core.detector import DetectionResult
 from ..nn.data import LabeledDataset
 from ..nn.models import Classifier
 from ..noise.injector import MISSING_LABEL
+from ..obs import trace_span
 from .base import NoisyLabelDetector
 
 
@@ -93,25 +92,28 @@ class ConfidentLearningDetector(NoisyLabelDetector):
 
     def _detect(self, dataset: LabeledDataset) -> DetectionResult:
         labeled = dataset.y != MISSING_LABEL
-        probs_d = self.model.predict_proba(dataset.flat_x())
-        num_classes = probs_d.shape[1]
+        with trace_span("calibrate"):
+            probs_d = self.model.predict_proba(dataset.flat_x())
+            num_classes = probs_d.shape[1]
 
-        # Calibrate thresholds on I_c ∪ D (paper §V-A4).
-        all_probs = np.concatenate([self._cal_probs, probs_d[labeled]])
-        all_labels = np.concatenate([self._cal_labels,
-                                     dataset.y[labeled]])
-        thresholds = class_thresholds(all_probs, all_labels, num_classes)
+            # Calibrate thresholds on I_c ∪ D (paper §V-A4).
+            all_probs = np.concatenate([self._cal_probs, probs_d[labeled]])
+            all_labels = np.concatenate([self._cal_labels,
+                                         dataset.y[labeled]])
+            thresholds = class_thresholds(all_probs, all_labels,
+                                          num_classes)
 
         # Confident joint restricted to the arriving dataset: the noise
         # counts to prune must describe D itself.
-        d_probs = probs_d[labeled]
-        d_labels = dataset.y[labeled]
-        joint = confident_joint(d_probs, d_labels, thresholds)
+        with trace_span("prune"):
+            d_probs = probs_d[labeled]
+            d_labels = dataset.y[labeled]
+            joint = confident_joint(d_probs, d_labels, thresholds)
 
-        local_noisy = (self._prune_by_class(d_probs, d_labels, joint)
-                       if self.method == "prune_by_class"
-                       else self._prune_by_noise_rate(d_probs, d_labels,
-                                                      joint))
+            local_noisy = (self._prune_by_class(d_probs, d_labels, joint)
+                           if self.method == "prune_by_class"
+                           else self._prune_by_noise_rate(d_probs, d_labels,
+                                                          joint))
         noisy_mask = np.zeros(len(dataset), dtype=bool)
         noisy_mask[np.nonzero(labeled)[0][local_noisy]] = True
         return self._result_from_noisy_mask(dataset, noisy_mask)

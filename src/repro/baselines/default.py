@@ -10,6 +10,7 @@ from __future__ import annotations
 from ..core.detector import DetectionResult
 from ..nn.data import LabeledDataset
 from ..nn.models import Classifier
+from ..obs import trace_span
 from .base import NoisyLabelDetector
 
 
@@ -23,5 +24,6 @@ class DefaultDetector(NoisyLabelDetector):
         self.model = model
 
     def _detect(self, dataset: LabeledDataset) -> DetectionResult:
-        preds = self.model.predict(dataset.flat_x())
+        with trace_span("predict"):
+            preds = self.model.predict(dataset.flat_x())
         return self._result_from_noisy_mask(dataset, preds != dataset.y)

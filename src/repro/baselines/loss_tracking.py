@@ -32,6 +32,7 @@ from ..nn.optim import SGD
 from ..nn.tensor import Tensor
 from ..nn.train import fit_epoch
 from ..noise.injector import MISSING_LABEL
+from ..obs import trace_span
 from .base import NoisyLabelDetector
 
 
@@ -110,11 +111,12 @@ class O2UDetector(_TrainingBasedDetector):
         train_samples = 0
 
         # Constant-rate warm-up.
-        for _ in range(self.warmup_epochs):
-            _, n = fit_epoch(model, pool, optimizer, self._rng,
-                             batch_size=self.batch_size,
-                             num_classes=self.num_classes)
-            train_samples += n
+        with trace_span("warmup"):
+            for _ in range(self.warmup_epochs):
+                _, n = fit_epoch(model, pool, optimizer, self._rng,
+                                 batch_size=self.batch_size,
+                                 num_classes=self.num_classes)
+                train_samples += n
         # Estimate the noise rate from the early-learning model, before
         # the cyclic phase lets it memorise the noisy labels (after
         # memorisation the disagreement rate collapses toward zero).
@@ -125,16 +127,17 @@ class O2UDetector(_TrainingBasedDetector):
         d_labeled = dataset.mask(labeled)
         loss_sum = np.zeros(len(d_labeled))
         steps = 0
-        for _ in range(self.cycles):
-            for epoch in range(self.cycle_epochs):
-                phase = epoch / max(self.cycle_epochs - 1, 1)
-                optimizer.lr = self.lr * (1.0 - 0.9 * phase)
-                _, n = fit_epoch(model, pool, optimizer, self._rng,
-                                 batch_size=self.batch_size,
-                                 num_classes=self.num_classes)
-                train_samples += n
-                loss_sum += per_sample_losses(model, d_labeled)
-                steps += 1
+        with trace_span("cyclic_train"):
+            for _ in range(self.cycles):
+                for epoch in range(self.cycle_epochs):
+                    phase = epoch / max(self.cycle_epochs - 1, 1)
+                    optimizer.lr = self.lr * (1.0 - 0.9 * phase)
+                    _, n = fit_epoch(model, pool, optimizer, self._rng,
+                                     batch_size=self.batch_size,
+                                     num_classes=self.num_classes)
+                    train_samples += n
+                    loss_sum += per_sample_losses(model, d_labeled)
+                    steps += 1
         mean_loss = loss_sum / max(steps, 1)
 
         n_flag = int(round(eta * len(d_labeled)))
@@ -189,13 +192,14 @@ class SmallLossDetector(_TrainingBasedDetector):
         # Estimate η from the early-learning model (one third into
         # training) so memorisation cannot collapse the estimate.
         early_cut = max(self.train_epochs // 3, 1)
-        for epoch in range(self.train_epochs):
-            _, n = fit_epoch(model, pool, optimizer, self._rng,
-                             batch_size=self.batch_size,
-                             num_classes=self.num_classes)
-            train_samples += n
-            if epoch + 1 == early_cut:
-                eta = self._early_eta(model, d_labeled)
+        with trace_span("train"):
+            for epoch in range(self.train_epochs):
+                _, n = fit_epoch(model, pool, optimizer, self._rng,
+                                 batch_size=self.batch_size,
+                                 num_classes=self.num_classes)
+                train_samples += n
+                if epoch + 1 == early_cut:
+                    eta = self._early_eta(model, d_labeled)
 
         losses = per_sample_losses(model, d_labeled)
         if self.noise_rate_estimate is not None:

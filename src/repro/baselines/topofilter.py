@@ -21,9 +21,10 @@ import numpy as np
 
 from ..core.detector import DetectionResult
 from ..nn.data import LabeledDataset
-from ..nn.models import Classifier, build_model
+from ..nn.models import build_model
 from ..nn.train import fit
 from ..noise.injector import MISSING_LABEL
+from ..obs import trace_span
 from .base import NoisyLabelDetector
 
 
@@ -110,9 +111,11 @@ class TopofilterDetector(NoisyLabelDetector):
         model = build_model(self.model_name, dataset.feature_dim,
                             self.num_classes, rng=self._rng,
                             **self.model_kwargs)
-        report = fit(model, train_pool, epochs=self.train_epochs,
-                     rng=self._rng, lr=self.lr, batch_size=self.batch_size,
-                     mixup_alpha=self.mixup_alpha)
+        with trace_span("train"):
+            report = fit(model, train_pool, epochs=self.train_epochs,
+                         rng=self._rng, lr=self.lr,
+                         batch_size=self.batch_size,
+                         mixup_alpha=self.mixup_alpha)
 
         # Latent-space per-class largest connected component over the
         # combined pool; D rows outside their class's LCC are noisy.
@@ -122,19 +125,20 @@ class TopofilterDetector(NoisyLabelDetector):
         rel_features = model.features(related.flat_x()) if len(related) \
             else np.empty((0, d_features.shape[1]))
 
-        for cls in labels_in_d:
-            d_cls_local = np.nonzero(dataset.y[d_rows] == cls)[0]
-            if d_cls_local.size == 0:
-                continue
-            rel_cls = np.nonzero(related.y == cls)[0]
-            combined = np.concatenate(
-                [d_features[d_cls_local], rel_features[rel_cls]])
-            comp = knn_graph_components(combined, self.knn_k,
-                                        mutual=self.mutual_knn)
-            counts = np.bincount(comp)
-            largest = counts.argmax()
-            outside = comp[:len(d_cls_local)] != largest
-            noisy_mask[d_rows[d_cls_local[outside]]] = True
+        with trace_span("knn_graph"):
+            for cls in labels_in_d:
+                d_cls_local = np.nonzero(dataset.y[d_rows] == cls)[0]
+                if d_cls_local.size == 0:
+                    continue
+                rel_cls = np.nonzero(related.y == cls)[0]
+                combined = np.concatenate(
+                    [d_features[d_cls_local], rel_features[rel_cls]])
+                comp = knn_graph_components(combined, self.knn_k,
+                                            mutual=self.mutual_knn)
+                counts = np.bincount(comp)
+                largest = counts.argmax()
+                outside = comp[:len(d_cls_local)] != largest
+                noisy_mask[d_rows[d_cls_local[outside]]] = True
 
         return self._result_from_noisy_mask(
             dataset, noisy_mask, train_samples=report.samples_processed)

@@ -6,9 +6,15 @@ Usage::
     python -m repro run fig5 --scale bench
     python -m repro run table2 --noise-rates 0.1 0.2
     python -m repro demo --dataset toy
+    python -m repro trace -o trace.json
+    python -m repro trace --baseline benchmarks/baselines/trace_smoke.json
 
 ``run`` executes one of the paper's figure/table drivers and prints the
-paper-style table; ``demo`` runs a minimal end-to-end detection.
+paper-style table; ``demo`` runs a minimal end-to-end detection;
+``trace`` runs a tiny traced detection, exports the per-stage span
+tree (wall-clock + sample-epoch work counts) and can gate it against a
+checked-in baseline — the CI perf-smoke job.  ``run`` and ``demo``
+accept ``--trace-out FILE`` to export a trace of any invocation.
 """
 
 from __future__ import annotations
@@ -86,13 +92,34 @@ def cmd_list_figures(_args) -> int:
     return 0
 
 
+def _make_tracer(args):
+    """A (tracer, save) pair honouring the --trace-out flag."""
+    from .obs import Tracer, save_trace
+
+    if not getattr(args, "trace_out", None):
+        return None, lambda: None
+
+    tracer = Tracer()
+
+    def save() -> None:
+        save_trace(tracer.to_dict(), args.trace_out)
+        print(f"wrote trace to {args.trace_out}")
+
+    return tracer, save
+
+
 def cmd_run(args) -> int:
     """Run one figure/table driver and print/store its JSON result."""
+    from .obs import use_tracer
+
     if args.figure not in _FIGURES:
         print(f"unknown figure {args.figure!r}; see 'list-figures'",
               file=sys.stderr)
         return 2
-    result = _run_figure(args.figure, args.scale, args.noise_rates)
+    tracer, save_trace_file = _make_tracer(args)
+    with use_tracer(tracer):
+        result = _run_figure(args.figure, args.scale, args.noise_rates)
+    save_trace_file()
     text = json.dumps(result, indent=2, default=float)
     if args.output:
         with open(args.output, "w") as fh:
@@ -133,10 +160,11 @@ def cmd_demo(args) -> int:
                              transition=transition,
                              seed=args.seed + 2).arrivals()
 
+    tracer, save_trace_file = _make_tracer(args)
     config = ENLDConfig(model_name="tinyresnet", init_epochs=15,
                         iterations=3, seed=args.seed)
-    enld = ENLD(config).initialize(inventory,
-                                   num_classes=spec.num_classes)
+    enld = ENLD(config, tracer=tracer).initialize(
+        inventory, num_classes=spec.num_classes)
     print(f"setup: {enld.setup_seconds:.1f}s on {len(inventory)} "
           "inventory samples")
     for arrival in arrivals[:args.max_arrivals]:
@@ -146,6 +174,70 @@ def cmd_demo(args) -> int:
               f"precision={score.precision:.3f} "
               f"recall={score.recall:.3f} "
               f"({result.process_seconds:.2f}s)")
+    save_trace_file()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Traced end-to-end detection; export + optionally gate the trace.
+
+    Runs the ``demo`` pipeline (small and deterministic for a fixed
+    seed) under a :class:`repro.obs.Tracer`, prints the per-stage
+    summary, writes the JSON trace when ``--out`` is given, and — when
+    ``--baseline`` is given — compares per-stage *sample-epoch work
+    counts* against the checked-in baseline, returning exit code 1 on
+    regression.  Work counts are machine-independent, so this gate is
+    stable where wall-clock assertions would flake.
+    """
+    import numpy as np
+
+    from . import ArrivalStream, ENLD, ENLDConfig
+    from .datasets import (generate, get_preset, paper_shard_plan,
+                           split_inventory_incremental)
+    from .noise import corrupt_labels, pair_asymmetric
+    from .obs import (Tracer, check_against_baseline, format_summary,
+                      save_trace)
+
+    spec = get_preset(args.dataset) if args.dataset == "toy" \
+        else get_preset(args.dataset, scale="small")
+    data = generate(spec, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(spec.num_classes, args.noise_rate)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    arrivals = ArrivalStream(pool, paper_shard_plan(args.dataset),
+                             transition=transition,
+                             seed=args.seed + 2).arrivals()
+
+    tracer = Tracer()
+    config = ENLDConfig(model_name="tinyresnet", init_epochs=15,
+                        iterations=3, seed=args.seed)
+    enld = ENLD(config, tracer=tracer).initialize(
+        inventory, num_classes=spec.num_classes)
+    for arrival in arrivals[:args.max_arrivals]:
+        enld.detect(arrival)
+
+    trace = tracer.to_dict()
+    trace["meta"] = {"dataset": args.dataset, "seed": args.seed,
+                     "noise_rate": args.noise_rate,
+                     "arrivals": int(min(args.max_arrivals, len(arrivals)))}
+    if not args.quiet:
+        print(format_summary(trace))
+    if args.output:
+        save_trace(trace, args.output)
+        print(f"wrote trace to {args.output}")
+    if args.baseline:
+        try:
+            ok = check_against_baseline(trace, args.baseline,
+                                        tolerance=args.tolerance)
+        except FileNotFoundError:
+            print(f"baseline file not found: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"invalid gate parameters: {exc}", file=sys.stderr)
+            return 2
+        return 0 if ok else 1
     return 0
 
 
@@ -167,6 +259,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--noise-rates", type=float, nargs="*",
                        default=None)
     p_run.add_argument("--output", help="write JSON result here")
+    p_run.add_argument("--trace-out", dest="trace_out",
+                       help="export a repro.obs trace of the run here")
     p_run.set_defaults(fn=cmd_run)
 
     p_report = sub.add_parser(
@@ -183,7 +277,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--noise-rate", type=float, default=0.2)
     p_demo.add_argument("--seed", type=int, default=0)
     p_demo.add_argument("--max-arrivals", type=int, default=3)
+    p_demo.add_argument("--trace-out", dest="trace_out",
+                        help="export a repro.obs trace of the demo here")
     p_demo.set_defaults(fn=cmd_demo)
+
+    p_trace = sub.add_parser(
+        "trace", help="traced end-to-end detection + perf-smoke gate")
+    p_trace.add_argument("--dataset", default="toy",
+                         choices=["toy", "emnist_like", "cifar100_like",
+                                  "tiny_imagenet_like"])
+    p_trace.add_argument("--noise-rate", type=float, default=0.2)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--max-arrivals", type=int, default=2)
+    p_trace.add_argument("-o", "--output", help="write trace JSON here")
+    p_trace.add_argument("--baseline",
+                         help="gate per-stage work counts against this "
+                              "baseline trace JSON")
+    p_trace.add_argument("--tolerance", type=float, default=0.15,
+                         help="relative work-count tolerance for the "
+                              "baseline gate (default 0.15)")
+    p_trace.add_argument("--quiet", action="store_true",
+                         help="suppress the summary table")
+    p_trace.set_defaults(fn=cmd_trace)
     return parser
 
 

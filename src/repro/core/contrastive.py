@@ -15,11 +15,11 @@ distribution of the contrastive set).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
 from ..index.classindex import ClassFeatureIndex
+from ..obs import incr
 from .probability import sample_probable_true_labels
 
 
@@ -101,7 +101,10 @@ def contrastive_sampling(ambiguous_features: np.ndarray,
             # contrastive supervision.
             fallback = int(available[rng.integers(len(available))])
             _, idx = index.query(feature, fallback, k)
+            incr("contrastive.fallback_queries")
         chosen.extend(int(i) for i in idx)
+    incr("contrastive.ambiguous_queried", len(ambiguous_labels))
+    incr("contrastive.samples_selected", len(chosen))
     return ContrastiveSample(indices=np.array(chosen, dtype=int),
                              target_labels=targets)
 

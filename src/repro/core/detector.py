@@ -33,6 +33,7 @@ from ..nn.optim import SGD
 from ..nn.serialize import clone_module
 from ..nn.train import fit, fit_epoch
 from ..noise.injector import MISSING_LABEL
+from ..obs import incr, observe, trace_span
 from .config import ENLDConfig
 from .policies import (PolicySelection, SamplingPolicy, SamplingRequest,
                        build_policy)
@@ -123,25 +124,31 @@ class FineGrainedDetector:
         train_samples = 0
 
         # Initial views under θ.
-        d_view = dataset_view or compute_view(theta, dataset)
-        pool_view = compute_view(theta, pool)
-        a_mask = ambiguous_mask(dataset, d_view)
-        hq_mask = high_quality_mask(
-            pool, pool_view,
-            confidence_filter=cfg.high_quality_confidence_filter)
+        with trace_span("initial_views"):
+            d_view = dataset_view or compute_view(theta, dataset)
+            pool_view = compute_view(theta, pool)
+            a_mask = ambiguous_mask(dataset, d_view)
+            hq_mask = high_quality_mask(
+                pool, pool_view,
+                confidence_filter=cfg.high_quality_confidence_filter)
 
-        selection = self._select(dataset, d_view, a_mask, pool, pool_view,
-                                 hq_mask, cond_prob, rng)
-        contrast = self._materialise(pool, selection)
+        with trace_span("contrastive_sampling"):
+            selection = self._select(dataset, d_view, a_mask, pool,
+                                     pool_view, hq_mask, cond_prob, rng)
+            contrast = self._materialise(pool, selection)
+        observe("detector.ambiguous_set_size", int(a_mask.sum()))
+        observe("detector.contrastive_set_size", len(contrast))
 
         # Warming up (Alg. 3 line 4): best-validation checkpoint on D.
         validate_on = dataset.mask(labeled) if labeled.any() else None
         if len(contrast) and cfg.warmup_epochs:
-            report = fit(theta, contrast, epochs=cfg.warmup_epochs, rng=rng,
-                         lr=cfg.finetune_lr, momentum=cfg.finetune_momentum,
-                         batch_size=cfg.finetune_batch_size,
-                         validate_on=validate_on,
-                         keep_best=validate_on is not None)
+            with trace_span("warmup"):
+                report = fit(theta, contrast, epochs=cfg.warmup_epochs,
+                             rng=rng, lr=cfg.finetune_lr,
+                             momentum=cfg.finetune_momentum,
+                             batch_size=cfg.finetune_batch_size,
+                             validate_on=validate_on,
+                             keep_best=validate_on is not None)
             train_samples += report.samples_processed
 
         optimizer = SGD(theta.parameters(), lr=cfg.finetune_lr,
@@ -156,48 +163,61 @@ class FineGrainedDetector:
 
         for iteration in range(cfg.iterations):
             count = np.zeros(n, dtype=int)
-            for _ in range(cfg.steps_per_iteration):
-                if len(contrast):
-                    _, n_trained = fit_epoch(
-                        theta, contrast, optimizer, rng,
-                        batch_size=cfg.finetune_batch_size,
-                        num_classes=num_classes)
-                    train_samples += n_trained
-                preds = theta.predict(dataset.flat_x())
-                agree = (preds == dataset.y) & labeled
-                count += agree
-                if cfg.use_majority_voting:
-                    newly = agree & (count >= cfg.majority_threshold)
-                else:
-                    newly = agree  # ENLD-2: aggressive selection
-                clean_mask |= newly
-                if missing.any():
-                    rows = np.nonzero(missing)[0]
-                    pseudo_votes[rows, preds[rows]] += 1
+            with trace_span("iteration"):
+                for _ in range(cfg.steps_per_iteration):
+                    if len(contrast):
+                        with trace_span("fine_tune"):
+                            _, n_trained = fit_epoch(
+                                theta, contrast, optimizer, rng,
+                                batch_size=cfg.finetune_batch_size,
+                                num_classes=num_classes)
+                        train_samples += n_trained
+                    with trace_span("vote"):
+                        preds = theta.predict(dataset.flat_x())
+                        agree = (preds == dataset.y) & labeled
+                        count += agree
+                        if cfg.use_majority_voting:
+                            newly = agree & (count >= cfg.majority_threshold)
+                        else:
+                            newly = agree  # ENLD-2: aggressive selection
+                        clean_mask |= newly
+                    incr("detector.vote_rounds")
+                    observe("detector.vote_agreement_rate",
+                            float(agree.sum()) / max(int(labeled.sum()), 1))
+                    if missing.any():
+                        rows = np.nonzero(missing)[0]
+                        pseudo_votes[rows, preds[rows]] += 1
 
-            # End-of-iteration updates (Alg. 3 lines 15–21).
-            d_view = compute_view(theta, dataset)
-            pool_view = compute_view(theta, pool)
-            a_mask = ambiguous_mask(dataset, d_view)
-            hq_mask = high_quality_mask(
-                pool, pool_view,
-                confidence_filter=cfg.high_quality_confidence_filter)
-            count_c += hq_mask
+                # End-of-iteration updates (Alg. 3 lines 15–21).
+                with trace_span("recompute_views"):
+                    d_view = compute_view(theta, dataset)
+                    pool_view = compute_view(theta, pool)
+                    a_mask = ambiguous_mask(dataset, d_view)
+                    hq_mask = high_quality_mask(
+                        pool, pool_view,
+                        confidence_filter=cfg.high_quality_confidence_filter)
+                count_c += hq_mask
 
-            trace.append(IterationSnapshot(
-                iteration=iteration,
-                clean_mask=clean_mask.copy(),
-                num_ambiguous=int(a_mask.sum()),
-                contrastive_size=len(contrast),
-                train_samples=train_samples,
-            ))
+                trace.append(IterationSnapshot(
+                    iteration=iteration,
+                    clean_mask=clean_mask.copy(),
+                    num_ambiguous=int(a_mask.sum()),
+                    contrastive_size=len(contrast),
+                    train_samples=train_samples,
+                ))
+                observe("detector.ambiguous_set_size", int(a_mask.sum()))
 
-            if iteration + 1 < cfg.iterations:
-                selection = self._select(dataset, d_view, a_mask, pool,
-                                         pool_view, hq_mask, cond_prob, rng)
-                contrast = self._materialise(pool, selection)
-                if cfg.merge_clean_into_contrastive and clean_mask.any():
-                    contrast = self._merge_clean(contrast, dataset, clean_mask)
+                if iteration + 1 < cfg.iterations:
+                    with trace_span("resample"):
+                        selection = self._select(
+                            dataset, d_view, a_mask, pool, pool_view,
+                            hq_mask, cond_prob, rng)
+                        contrast = self._materialise(pool, selection)
+                        if (cfg.merge_clean_into_contrastive
+                                and clean_mask.any()):
+                            contrast = self._merge_clean(
+                                contrast, dataset, clean_mask)
+                    observe("detector.contrastive_set_size", len(contrast))
 
         noisy_mask = labeled & ~clean_mask
         # Stringent t-of-t criterion for inventory clean samples (§IV-E).

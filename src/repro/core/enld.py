@@ -27,6 +27,7 @@ import numpy as np
 from ..nn.data import LabeledDataset, train_test_split
 from ..nn.models import Classifier, build_model
 from ..nn.train import fit
+from ..obs import trace_span, use_tracer
 from .config import ENLDConfig
 from .detector import DetectionResult, FineGrainedDetector
 from .probability import estimate_conditional
@@ -40,8 +41,11 @@ class NotInitializedError(RuntimeError):
 class ENLD:
     """Efficient Noisy Label Detection for incremental datasets."""
 
-    def __init__(self, config: Optional[ENLDConfig] = None):
+    def __init__(self, config: Optional[ENLDConfig] = None, tracer=None):
         self.config = config or ENLDConfig()
+        # Optional repro.obs.Tracer; None defers to the ambient tracer
+        # (a no-op unless the caller activated one via use_tracer).
+        self.tracer = tracer
         self.model: Optional[Classifier] = None
         self.cond_prob: Optional[np.ndarray] = None
         self.inventory_train: Optional[LabeledDataset] = None      # I_t
@@ -65,30 +69,33 @@ class ENLD:
         """
         start = time.perf_counter()
         cfg = self.config
-        self.num_classes = num_classes or inventory.num_classes
-        candidates, train = train_test_split(
-            inventory, test_fraction=cfg.inventory_train_fraction,
-            rng=self._rng)
-        # train_test_split names the halves train/test; relabel to the
-        # paper's I_t / I_c.
-        self.inventory_train = LabeledDataset(
-            train.x, train.y, true_y=train.true_y, ids=train.ids,
-            name=f"{inventory.name}/I_t")
-        self.inventory_candidates = LabeledDataset(
-            candidates.x, candidates.y, true_y=candidates.true_y,
-            ids=candidates.ids, name=f"{inventory.name}/I_c")
+        with use_tracer(self.tracer), trace_span("setup"):
+            self.num_classes = num_classes or inventory.num_classes
+            candidates, train = train_test_split(
+                inventory, test_fraction=cfg.inventory_train_fraction,
+                rng=self._rng)
+            # train_test_split names the halves train/test; relabel to
+            # the paper's I_t / I_c.
+            self.inventory_train = LabeledDataset(
+                train.x, train.y, true_y=train.true_y, ids=train.ids,
+                name=f"{inventory.name}/I_t")
+            self.inventory_candidates = LabeledDataset(
+                candidates.x, candidates.y, true_y=candidates.true_y,
+                ids=candidates.ids, name=f"{inventory.name}/I_c")
 
-        self.model = build_model(cfg.model_name, inventory.feature_dim,
-                                 self.num_classes, rng=self._rng,
-                                 **cfg.model_kwargs)
-        report = fit(self.model, self.inventory_train,
-                     epochs=cfg.init_epochs, rng=self._rng,
-                     lr=cfg.init_lr, batch_size=cfg.init_batch_size,
-                     mixup_alpha=cfg.mixup_alpha)
-        self.setup_train_samples = report.samples_processed
-        self.cond_prob = estimate_conditional(
-            self.model, self.inventory_candidates,
-            num_classes=self.num_classes)
+            self.model = build_model(cfg.model_name, inventory.feature_dim,
+                                     self.num_classes, rng=self._rng,
+                                     **cfg.model_kwargs)
+            with trace_span("train_general"):
+                report = fit(self.model, self.inventory_train,
+                             epochs=cfg.init_epochs, rng=self._rng,
+                             lr=cfg.init_lr, batch_size=cfg.init_batch_size,
+                             mixup_alpha=cfg.mixup_alpha)
+            self.setup_train_samples = report.samples_processed
+            with trace_span("estimate_probability"):
+                self.cond_prob = estimate_conditional(
+                    self.model, self.inventory_candidates,
+                    num_classes=self.num_classes)
         self.setup_seconds = time.perf_counter() - start
         return self
 
@@ -99,9 +106,10 @@ class ENLD:
         """Detect noisy labels in an arriving incremental dataset."""
         self._require_initialized()
         start = time.perf_counter()
-        result = self._detector.detect(
-            self.model, dataset, self.inventory_candidates,
-            self.cond_prob, self._rng)
+        with use_tracer(self.tracer), trace_span("detect"):
+            result = self._detector.detect(
+                self.model, dataset, self.inventory_candidates,
+                self.cond_prob, self._rng)
         result.process_seconds = time.perf_counter() - start
         self._clean_candidate_positions.update(
             int(p) for p in result.inventory_clean_positions)
@@ -122,10 +130,11 @@ class ENLD:
     def update_model(self, epochs: Optional[int] = None) -> "ENLD":
         """Refresh ``θ`` from the accumulated clean inventory set."""
         self._require_initialized()
-        outcome = model_update(
-            self.model, self.clean_inventory,
-            self.inventory_train, self.inventory_candidates,
-            self.config, self._rng, epochs=epochs)
+        with use_tracer(self.tracer), trace_span("model_update"):
+            outcome = model_update(
+                self.model, self.clean_inventory,
+                self.inventory_train, self.inventory_candidates,
+                self.config, self._rng, epochs=epochs)
         self.model = outcome.model
         self.cond_prob = outcome.cond_prob
         self.inventory_train = outcome.inventory_train

@@ -9,7 +9,6 @@ conditional mislabel probability on the new candidate half.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

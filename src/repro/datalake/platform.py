@@ -22,9 +22,8 @@ Typical usage::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -33,6 +32,7 @@ from ..core.detector import DetectionResult
 from ..core.enld import ENLD
 from ..core.scheduler import UpdateScheduler
 from ..nn.data import LabeledDataset
+from ..obs import Tracer, incr, merge_trace_dicts, use_tracer
 from .catalog import DataLakeCatalog, DetectionRecord
 
 
@@ -43,6 +43,9 @@ class SubmissionReport:
     result: DetectionResult
     record: DetectionRecord
     updated_model: bool
+    # Exported per-submission trace (spans/counters/metrics); None
+    # unless the platform was built with trace=True.
+    trace: Optional[dict] = None
 
 
 class NoisyLabelPlatform:
@@ -60,16 +63,31 @@ class NoisyLabelPlatform:
         runs automatically after the triggering submission.
     num_classes:
         Override when the inventory does not contain every class.
+    trace:
+        When ``True``, every submission runs under a fresh
+        :class:`repro.obs.Tracer`; the exported trace is attached to
+        the :class:`SubmissionReport` and the running aggregate is
+        reported by :meth:`quality_report`.
     """
 
     def __init__(self, inventory: LabeledDataset,
                  config: Optional[ENLDConfig] = None,
                  scheduler: Optional[UpdateScheduler] = None,
-                 num_classes: Optional[int] = None):
+                 num_classes: Optional[int] = None,
+                 trace: bool = False):
         self.catalog = DataLakeCatalog(inventory)
         self.enld = ENLD(config)
         self.scheduler = scheduler
-        self.enld.initialize(inventory, num_classes=num_classes)
+        self.trace_enabled = trace
+        self.setup_trace: Optional[dict] = None
+        self._submission_traces: List[dict] = []
+        if trace:
+            tracer = Tracer()
+            with use_tracer(tracer):
+                self.enld.initialize(inventory, num_classes=num_classes)
+            self.setup_trace = tracer.to_dict()
+        else:
+            self.enld.initialize(inventory, num_classes=num_classes)
         self.model_updates: int = 0
 
     # ------------------------------------------------------------------
@@ -85,30 +103,37 @@ class NoisyLabelPlatform:
         accumulates clean inventory ids, and (if a scheduler is set)
         triggers the model update when due.
         """
-        self.catalog.register_arrival(dataset)
-        result = self.enld.detect(dataset)
-        record = DetectionRecord(
-            dataset_name=dataset.name,
-            clean_ids=dataset.ids[result.clean_mask],
-            noisy_ids=dataset.ids[result.noisy_mask],
-            process_seconds=result.process_seconds,
-            detector=result.detector_name,
-        )
-        self.catalog.record_detection(record)
-        self.catalog.add_clean_inventory_ids(
-            self.enld.inventory_candidates.ids[
-                result.inventory_clean_positions])
+        tracer = Tracer() if self.trace_enabled else None
+        with use_tracer(tracer):
+            self.catalog.register_arrival(dataset)
+            incr("platform.submissions")
+            result = self.enld.detect(dataset)
+            record = DetectionRecord(
+                dataset_name=dataset.name,
+                clean_ids=dataset.ids[result.clean_mask],
+                noisy_ids=dataset.ids[result.noisy_mask],
+                process_seconds=result.process_seconds,
+                detector=result.detector_name,
+            )
+            self.catalog.record_detection(record)
+            self.catalog.add_clean_inventory_ids(
+                self.enld.inventory_candidates.ids[
+                    result.inventory_clean_positions])
 
-        updated = False
-        if self.scheduler is not None:
-            self.scheduler.observe(result)
-            if (self.scheduler.should_update()
-                    and len(self.enld.clean_inventory)):
-                self.update_model()
-                self.scheduler.notify_updated()
-                updated = True
+            updated = False
+            if self.scheduler is not None:
+                self.scheduler.observe(result)
+                if (self.scheduler.should_update()
+                        and len(self.enld.clean_inventory)):
+                    incr("platform.scheduler_fires")
+                    self.update_model()
+                    self.scheduler.notify_updated()
+                    updated = True
+        trace = tracer.to_dict() if tracer is not None else None
+        if trace is not None:
+            self._submission_traces.append(trace)
         return SubmissionReport(result=result, record=record,
-                                updated_model=updated)
+                                updated_model=updated, trace=trace)
 
     def update_model(self, epochs: Optional[int] = None) -> None:
         """Run the Alg. 4 model update now (also counts it)."""
@@ -135,9 +160,18 @@ class NoisyLabelPlatform:
         return dataset.mask(mask, name=f"{dataset_name}/noisy")
 
     def quality_report(self) -> dict:
-        """Aggregate screening statistics plus platform counters."""
+        """Aggregate screening statistics plus platform counters.
+
+        With tracing enabled the report carries a ``trace`` key: the
+        setup trace plus the pointwise sum of every submission trace,
+        giving the fleet-level Fig. 8-style stage breakdown.
+        """
         report = self.catalog.quality_report()
         report["model_updates"] = self.model_updates
         report["setup_seconds"] = self.setup_seconds
         report["clean_inventory_size"] = len(self.catalog.clean_inventory_ids)
+        if self.trace_enabled:
+            traces = ([self.setup_trace] if self.setup_trace else []) \
+                + self._submission_traces
+            report["trace"] = merge_trace_dicts(traces)
         return report

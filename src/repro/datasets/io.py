@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -32,7 +32,7 @@ accuracy), Tiny-ImageNet-like presets use high correlation and noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy import ndimage

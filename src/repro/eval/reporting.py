@@ -6,7 +6,7 @@ helpers keep that formatting consistent.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from .runner import MethodReport
 

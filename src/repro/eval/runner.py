@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core.detector import DetectionResult
 from ..nn.data import LabeledDataset
+from ..obs import use_tracer
 from .metrics import DetectionScore, score_detection
 from .timer import CostProfile
 
@@ -86,21 +87,28 @@ class MethodReport:
 def run_detector(detector: Detector, arrivals: Iterable[LabeledDataset],
                  method_name: str,
                  setup_seconds: float = 0.0,
-                 setup_train_samples: int = 0) -> MethodReport:
-    """Run one detector over every arrival and score each result."""
+                 setup_train_samples: int = 0,
+                 tracer=None) -> MethodReport:
+    """Run one detector over every arrival and score each result.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) is made ambient for the
+    whole stream, so per-stage spans from every arrival accumulate into
+    one trace; ``None`` keeps whatever tracer is already active.
+    """
     report = MethodReport(method=method_name)
     report.cost.setup_seconds = setup_seconds
     report.cost.setup_train_samples = setup_train_samples
-    for dataset in arrivals:
-        result = detector.detect(dataset)
-        outcome = ShardOutcome(
-            shard_name=dataset.name,
-            score=score_detection(result, dataset),
-            process_seconds=result.process_seconds,
-            train_samples=result.train_samples,
-            result=result,
-        )
-        report.add(outcome)
+    with use_tracer(tracer):
+        for dataset in arrivals:
+            result = detector.detect(dataset)
+            outcome = ShardOutcome(
+                shard_name=dataset.name,
+                score=score_detection(result, dataset),
+                process_seconds=result.process_seconds,
+                train_samples=result.train_samples,
+                result=result,
+            )
+            report.add(outcome)
     return report
 
 

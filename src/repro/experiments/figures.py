@@ -16,7 +16,7 @@ from ..core.missing import missing_label_report
 from ..eval.metrics import score_detection, score_trace
 from ..eval.runner import MethodReport, compare_detectors, run_detector
 from ..nn.metrics import evaluate_accuracy
-from .harness import Environment, build_baselines, build_enld, build_environment
+from .harness import build_baselines, build_enld, build_environment
 from .presets import ExperimentPreset
 from .theory import contribution_experiment
 

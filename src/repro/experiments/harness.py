@@ -8,7 +8,7 @@ and corrupt labels at a noise rate — so this module centralises them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 #: The paper's headline numbers, quoted in §I and §V.
 PAPER_VALUES: Dict[str, Dict] = {

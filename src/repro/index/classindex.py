@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import incr, trace_span
 from .balltree import BallTree
 from .kdtree import KDTree, brute_force_knn
 
@@ -72,15 +73,18 @@ class ClassFeatureIndex:
                 raise ValueError("source_indices must align with features")
         self._positions: Dict[int, np.ndarray] = {}
         self._trees: Dict[int, object] = {}
-        for cls in np.unique(labels):
-            pos = np.nonzero(labels == cls)[0]
-            self._positions[int(cls)] = pos
-            if backend == "kdtree":
-                self._trees[int(cls)] = KDTree(features[pos],
-                                               leaf_size=leaf_size)
-            elif backend == "balltree":
-                self._trees[int(cls)] = BallTree(features[pos],
-                                                 leaf_size=leaf_size)
+        with trace_span("index_build"):
+            for cls in np.unique(labels):
+                pos = np.nonzero(labels == cls)[0]
+                self._positions[int(cls)] = pos
+                if backend == "kdtree":
+                    self._trees[int(cls)] = KDTree(features[pos],
+                                                   leaf_size=leaf_size)
+                elif backend == "balltree":
+                    self._trees[int(cls)] = BallTree(features[pos],
+                                                     leaf_size=leaf_size)
+        incr("classindex.builds")
+        incr("classindex.samples_indexed", len(features))
 
     @property
     def classes(self) -> List[int]:
@@ -101,6 +105,7 @@ class ClassFeatureIndex:
         class has no candidates.
         """
         cls = int(cls)
+        incr("classindex.queries")
         pos = self._positions.get(cls)
         if pos is None or len(pos) == 0:
             return np.empty(0), np.empty(0, dtype=int)

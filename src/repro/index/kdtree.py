@@ -14,9 +14,11 @@ tested against brute force in the test suite.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
+
+from ..obs import incr
 
 _LEAF_SIZE = 16
 
@@ -53,6 +55,8 @@ class KDTree:
             self._root = self._build(0, self._n)
         else:
             self._root = -1
+        incr("kdtree.builds")
+        incr("kdtree.points_indexed", self._n)
 
     def __len__(self) -> int:
         return self._n
@@ -111,6 +115,7 @@ class KDTree:
                 f"query dim {point.shape[0]} != tree dim {self._d}")
         if k < 1:
             raise ValueError("k must be positive")
+        incr("kdtree.queries")
         if self._n == 0:
             return np.empty(0), np.empty(0, dtype=int)
         k = min(k, self._n)
@@ -155,12 +160,14 @@ class KDTree:
                     ) -> Tuple[np.ndarray, np.ndarray]:
         """Vector of queries; returns ``(dists, idx)`` of shape (Q, k').
 
-        ``k'`` is ``min(k, len(tree))``.
+        ``k'`` is ``min(k, len(tree))`` — in particular ``(Q, 0)``
+        outputs for an empty tree, matching :meth:`query`'s length-0
+        results.
         """
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ValueError("query_batch expects (Q, D)")
-        kk = min(k, max(self._n, 1))
+        kk = min(k, self._n)
         dists = np.empty((len(points), kk))
         idx = np.empty((len(points), kk), dtype=int)
         for row, p in enumerate(points):

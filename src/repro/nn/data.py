@@ -9,7 +9,7 @@ origin (needed by the data-lake bookkeeping and the voting logic).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np

@@ -8,7 +8,7 @@ and a ``__call__``/``forward`` contract.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 

@@ -26,7 +26,7 @@ import numpy as np
 from . import functional as F
 from .blocks import (DenseMLPBlock, ResidualConvBlock, ResidualMLPBlock,
                      TransitionMLP)
-from .layers import (BatchNorm1d, Conv2d, Flatten, Linear, Module, ReLU,
+from .layers import (BatchNorm1d, Conv2d, Linear, Module, ReLU,
                      Sequential)
 from .tensor import Tensor
 

@@ -20,13 +20,13 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs import add_work
 from .data import DataLoader, LabeledDataset
 from .losses import cross_entropy, soft_cross_entropy
 from .metrics import evaluate_accuracy
 from .mixup import mixup_batch
 from .models import Classifier
 from .optim import Optimizer, SGD
-from .serialize import clone_module
 from .tensor import Tensor
 
 
@@ -77,6 +77,7 @@ def fit_epoch(model: Classifier, dataset: LabeledDataset,
         optimizer.step()
         total_loss += loss.item() * len(xb)
         total_n += len(xb)
+    add_work(total_n)
     return total_loss / max(total_n, 1), total_n
 
 

@@ -1,0 +1,23 @@
+"""Pipeline observability: tracing, counters and trace export.
+
+The :class:`Tracer` records nested per-stage spans with both wall-clock
+seconds and the machine-independent sample-epoch work model; library
+code reports into the *ambient* tracer (default: a zero-cost no-op).
+See :mod:`repro.obs.tracer` for the model and :mod:`repro.obs.export`
+for JSON serialisation, aggregation and the CI baseline gate.
+"""
+
+from .export import (check_against_baseline, compare_stage_work,
+                     flatten_spans, format_summary, load_trace,
+                     merge_trace_dicts, refresh_baseline, save_trace)
+from .tracer import (NULL_TRACER, NullTracer, SpanNode, Tracer, add_work,
+                     current_tracer, incr, observe, trace_span, use_tracer)
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER", "SpanNode",
+    "current_tracer", "use_tracer", "trace_span", "add_work", "incr",
+    "observe",
+    "save_trace", "load_trace", "merge_trace_dicts", "flatten_spans",
+    "format_summary", "compare_stage_work", "check_against_baseline",
+    "refresh_baseline",
+]

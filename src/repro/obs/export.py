@@ -1,0 +1,206 @@
+"""Trace serialisation, aggregation and baseline comparison.
+
+Companion to :mod:`repro.obs.tracer`: everything that operates on the
+*exported* ``to_dict()`` form of a trace —
+
+- :func:`save_trace` / :func:`load_trace` — JSON on disk;
+- :func:`merge_trace_dicts` — pointwise aggregation of several traces
+  (the platform sums per-submission traces into a fleet view);
+- :func:`flatten_spans` — ``path -> totals`` for tabular consumers;
+- :func:`format_summary` — the human-readable table;
+- :func:`compare_stage_work` — the CI perf-smoke gate: per-stage
+  sample-epoch counts versus a checked-in baseline within a relative
+  tolerance.  Work counts are deterministic for a fixed seed and
+  config, so the gate is flake-free where wall-clock gating is not.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+
+def save_trace(trace: dict, path: str) -> None:
+    """Write an exported trace dict as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> dict:
+    """Read a trace JSON written by :func:`save_trace`."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+def _merge_span(into: dict, other: dict) -> None:
+    into["calls"] = into.get("calls", 0) + other.get("calls", 0)
+    into["wall_seconds"] = (into.get("wall_seconds", 0.0)
+                            + other.get("wall_seconds", 0.0))
+    into["work"] = into.get("work", 0) + other.get("work", 0)
+    for name, child in other.get("children", {}).items():
+        target = into.setdefault("children", {}).setdefault(name, {})
+        _merge_span(target, child)
+
+
+def merge_trace_dicts(traces: List[dict]) -> dict:
+    """Sum several exported traces into one aggregate trace.
+
+    Spans merge by path; counters add; gauge stats combine count/total/
+    min/max (``mean`` is recomputed, ``last`` keeps the latest trace's).
+    """
+    spans: dict = {}
+    counters: Dict[str, float] = {}
+    metrics: Dict[str, dict] = {}
+    for trace in traces:
+        for name, span in trace.get("spans", {}).items():
+            _merge_span(spans.setdefault(name, {}), span)
+        for name, value in trace.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, stat in trace.get("metrics", {}).items():
+            agg = metrics.get(name)
+            if agg is None:
+                metrics[name] = dict(stat)
+                continue
+            count = agg["count"] + stat["count"]
+            total = agg["total"] + stat["total"]
+            agg.update(
+                count=count, total=total,
+                mean=total / count if count else 0.0,
+                min=min(agg["min"], stat["min"]),
+                max=max(agg["max"], stat["max"]),
+                last=stat["last"])
+    return {"spans": spans, "counters": counters, "metrics": metrics}
+
+
+# ----------------------------------------------------------------------
+# Flattening & display
+# ----------------------------------------------------------------------
+
+def _walk(name: str, span: dict, prefix: str, depth: int
+          ) -> Iterator[tuple]:
+    path = f"{prefix}/{name}" if prefix else name
+    yield path, depth, span
+    for child_name, child in span.get("children", {}).items():
+        yield from _walk(child_name, child, path, depth + 1)
+
+
+def flatten_spans(trace: dict) -> Dict[str, dict]:
+    """``path -> {calls, work, wall_seconds}`` over every span."""
+    out: Dict[str, dict] = {}
+    for name, span in trace.get("spans", {}).items():
+        for path, _, node in _walk(name, span, "", 0):
+            out[path] = {"calls": node.get("calls", 0),
+                         "work": node.get("work", 0),
+                         "wall_seconds": node.get("wall_seconds", 0.0)}
+    return out
+
+
+def format_summary(trace: dict) -> str:
+    """Indented per-stage table plus counters and gauges."""
+    rows = []
+    for name, span in trace.get("spans", {}).items():
+        for path, depth, node in _walk(name, span, "", 0):
+            label = "  " * depth + path.rsplit("/", 1)[-1]
+            rows.append((label, node.get("calls", 0),
+                         node.get("wall_seconds", 0.0),
+                         node.get("work", 0)))
+    width = max((len(r[0]) for r in rows), default=10)
+    width = max(width, len("stage"))
+    lines = [f"{'stage'.ljust(width)}  {'calls':>6}  {'wall_s':>9}  "
+             f"{'work':>10}"]
+    lines.append("-" * len(lines[0]))
+    for label, calls, wall, work in rows:
+        lines.append(f"{label.ljust(width)}  {calls:>6}  {wall:>9.3f}  "
+                     f"{work:>10}")
+    counters = trace.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]}")
+    metrics = trace.get("metrics", {})
+    if metrics:
+        lines.append("")
+        lines.append("gauges (mean over observations):")
+        for name in sorted(metrics):
+            stat = metrics[name]
+            lines.append(f"  {name}: mean={stat['mean']:.3f} "
+                         f"min={stat['min']:.3f} max={stat['max']:.3f} "
+                         f"n={stat['count']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Baseline gating
+# ----------------------------------------------------------------------
+
+def compare_stage_work(trace: dict, baseline: dict,
+                       tolerance: float = 0.15,
+                       min_work: int = 1) -> List[str]:
+    """Check per-stage work counts against a baseline trace.
+
+    Returns a list of human-readable violations (empty when the gate
+    passes).  Only stages whose baseline work is at least ``min_work``
+    participate — tiny stages would make relative tolerance meaningless.
+    A stage present in the baseline but missing from the trace is a
+    violation (a silently dropped pipeline step is a regression too).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    got = flatten_spans(trace)
+    want = flatten_spans(baseline)
+    violations: List[str] = []
+    for path, base in sorted(want.items()):
+        base_work = base.get("work", 0)
+        if base_work < min_work:
+            continue
+        node = got.get(path)
+        if node is None:
+            violations.append(f"{path}: missing from trace "
+                              f"(baseline work={base_work})")
+            continue
+        work = node.get("work", 0)
+        rel = abs(work - base_work) / base_work
+        if rel > tolerance:
+            violations.append(
+                f"{path}: work={work} vs baseline={base_work} "
+                f"({rel:+.1%} > ±{tolerance:.0%})")
+    return violations
+
+
+def check_against_baseline(trace: dict, baseline_path: str,
+                           tolerance: float = 0.15,
+                           out=None) -> bool:
+    """Load a baseline file, compare, and print the verdict.
+
+    Returns ``True`` when the gate passes.  ``out`` is a file-like for
+    messages (defaults to stdout).
+    """
+    import sys
+    out = out or sys.stdout
+    baseline = load_trace(baseline_path)
+    violations = compare_stage_work(trace, baseline, tolerance=tolerance)
+    if violations:
+        print(f"perf-smoke gate FAILED against {baseline_path}:", file=out)
+        for v in violations:
+            print(f"  {v}", file=out)
+        return False
+    n = sum(1 for s in flatten_spans(baseline).values()
+            if s.get("work", 0) >= 1)
+    print(f"perf-smoke gate passed: {n} stages within "
+          f"±{tolerance:.0%} of {baseline_path}", file=out)
+    return True
+
+
+def refresh_baseline(trace: dict, baseline_path: str,
+                     meta: Optional[dict] = None) -> None:
+    """Write ``trace`` as the new checked-in baseline."""
+    payload = dict(trace)
+    if meta:
+        payload["meta"] = meta
+    save_trace(payload, baseline_path)

@@ -59,3 +59,45 @@ class TestCommands:
         assert main(["demo", "--dataset", "toy", "--max-arrivals", "1"]) == 0
         out = capsys.readouterr().out
         assert "f1=" in out
+
+    def test_demo_trace_out(self, tmp_path, capsys):
+        path = str(tmp_path / "demo_trace.json")
+        assert main(["demo", "--dataset", "toy", "--max-arrivals", "1",
+                     "--trace-out", path]) == 0
+        capsys.readouterr()
+        with open(path) as fh:
+            trace = json.load(fh)
+        assert "setup" in trace["spans"]
+        assert "detect" in trace["spans"]
+
+
+class TestTraceCommand:
+    def test_trace_exports_spans_and_summary(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        assert main(["trace", "--max-arrivals", "1", "-o", path]) == 0
+        out = capsys.readouterr().out
+        assert "setup" in out  # summary table printed
+        with open(path) as fh:
+            trace = json.load(fh)
+        assert trace["meta"]["arrivals"] == 1
+        detect = trace["spans"]["detect"]
+        assert detect["children"]["iteration"]["children"]["fine_tune"][
+            "work"] > 0
+
+    def test_trace_gate_passes_against_own_baseline(self, tmp_path,
+                                                    capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["trace", "--max-arrivals", "1", "--quiet",
+                     "-o", baseline]) == 0
+        assert main(["trace", "--max-arrivals", "1", "--quiet",
+                     "--baseline", baseline]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_trace_gate_fails_on_mismatch(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["trace", "--max-arrivals", "2", "--quiet",
+                     "-o", baseline]) == 0
+        # Half the arrivals → detect-stage work far below baseline.
+        assert main(["trace", "--max-arrivals", "1", "--quiet",
+                     "--baseline", baseline]) == 1
+        assert "FAILED" in capsys.readouterr().out

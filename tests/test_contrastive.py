@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.contrastive import (ContrastiveSample, contrastive_sampling,
+from repro.core.contrastive import (contrastive_sampling,
                                     expected_contrastive_distribution,
                                     label_distribution, prob_class_absent)
 from repro.index.classindex import ClassFeatureIndex

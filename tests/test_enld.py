@@ -10,7 +10,6 @@ from repro.datalake import ArrivalStream
 from repro.datasets import (generate, paper_shard_plan,
                             split_inventory_incremental, toy)
 from repro.noise import corrupt_labels, pair_asymmetric
-from repro.nn.data import LabeledDataset
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.detector import DetectionResult, IterationSnapshot
-from repro.eval.metrics import (score_detection, score_masks, score_trace,
+from repro.eval.metrics import (score_masks, score_trace,
                                 true_noise_mask)
 from repro.eval.reporting import (format_table, method_comparison_table,
                                   series_table, speedup_line)

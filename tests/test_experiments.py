@@ -9,9 +9,8 @@ import pytest
 
 from repro.experiments.harness import (build_baselines, build_enld,
                                        build_environment)
-from repro.experiments.presets import (PAPER_NOISE_RATES, ExperimentPreset,
-                                       bench_preset, full_preset,
-                                       small_preset)
+from repro.experiments.presets import (PAPER_NOISE_RATES, bench_preset,
+                                       full_preset, small_preset)
 
 
 @pytest.fixture(scope="module")

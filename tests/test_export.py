@@ -3,7 +3,6 @@
 import csv
 
 import numpy as np
-import pytest
 
 from repro.core.detector import DetectionResult
 from repro.eval.export import load_json, report_rows, write_csv, write_json

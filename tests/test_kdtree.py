@@ -102,6 +102,20 @@ class TestKDTreeVsBruteForce:
         with pytest.raises(ValueError):
             KDTree(np.zeros((4, 2))).query_batch(np.zeros(2))
 
+    def test_query_batch_empty_tree(self):
+        # Regression: used to allocate (Q, 1) outputs and crash indexing
+        # an empty points array; must mirror query()'s length-0 result.
+        tree = KDTree(np.zeros((0, 3)))
+        dists, idx = tree.query_batch(np.zeros((5, 3)), k=2)
+        assert dists.shape == (5, 0)
+        assert idx.shape == (5, 0)
+
+    def test_query_batch_k_larger_than_tree(self):
+        pts = np.arange(6.0).reshape(3, 2)
+        dists, idx = KDTree(pts).query_batch(np.zeros((2, 2)), k=10)
+        assert dists.shape == (2, 3)
+        assert idx.shape == (2, 3)
+
 
 class TestRadiusQuery:
     def test_matches_brute_force(self):

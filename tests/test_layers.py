@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.layers import (BatchNorm1d, Conv2d, Dropout, Flatten, LayerNorm,
-                             Linear, Module, ReLU, Sequential, Tanh)
+                             Linear, ReLU, Sequential, Tanh)
 from repro.nn.tensor import Tensor
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.nn import functional as F
-from repro.nn.layers import Linear
 from repro.nn.losses import cross_entropy, mse_loss, soft_cross_entropy
 from repro.nn.optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
 from repro.nn.tensor import Tensor

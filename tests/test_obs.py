@@ -1,0 +1,228 @@
+"""Tests for repro.obs (tracer, ambient context, export, CI gate)."""
+
+import json
+import threading
+
+import numpy as np
+
+from repro.obs import (NULL_TRACER, Tracer, add_work, compare_stage_work,
+                       current_tracer, flatten_spans, format_summary, incr,
+                       load_trace, merge_trace_dicts, observe, save_trace,
+                       trace_span, use_tracer)
+
+
+class TestTracerSpans:
+    def test_nesting_builds_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.add_work(10)
+        trace = tracer.to_dict()
+        outer = trace["spans"]["outer"]
+        assert outer["calls"] == 1
+        assert outer["children"]["inner"]["work"] == 10
+        assert outer["children"]["inner"]["wall_seconds"] >= 0.0
+
+    def test_same_name_siblings_merge(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("stage"):
+                tracer.add_work(5)
+        span = tracer.to_dict()["spans"]["stage"]
+        assert span["calls"] == 3
+        assert span["work"] == 15
+
+    def test_work_attributes_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.add_work(1)
+            with tracer.span("inner"):
+                tracer.add_work(2)
+        spans = tracer.to_dict()["spans"]
+        assert spans["outer"]["work"] == 1
+        assert spans["outer"]["children"]["inner"]["work"] == 2
+
+    def test_exception_unwinds_stack(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with tracer.span("after"):
+            tracer.add_work(7)
+        spans = tracer.to_dict()["spans"]
+        # "after" is a top-level span, not a child of the failed ones.
+        assert spans["after"]["work"] == 7
+        assert "after" not in spans["outer"].get("children", {})
+
+    def test_counters_and_gauges(self):
+        tracer = Tracer()
+        tracer.incr("hits")
+        tracer.incr("hits", 4)
+        tracer.observe("size", 10.0)
+        tracer.observe("size", 30.0)
+        trace = tracer.to_dict()
+        assert trace["counters"]["hits"] == 5
+        stat = trace["metrics"]["size"]
+        assert stat["count"] == 2
+        assert stat["min"] == 10.0 and stat["max"] == 30.0
+        assert stat["mean"] == 20.0
+
+    def test_thread_safety(self):
+        tracer = Tracer()
+
+        def work():
+            for _ in range(200):
+                with tracer.span("t"):
+                    tracer.add_work(1)
+                tracer.incr("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        trace = tracer.to_dict()
+        assert trace["spans"]["t"]["work"] == 800
+        assert trace["counters"]["n"] == 800
+
+
+class TestAmbientContext:
+    def test_default_is_noop(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+        # Module helpers must be harmless without an active tracer.
+        with trace_span("anything"):
+            add_work(5)
+        incr("nothing")
+        observe("nothing", 1.0)
+        assert NULL_TRACER.to_dict() == {"spans": {}, "counters": {},
+                                         "metrics": {}}
+
+    def test_use_tracer_activates_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with trace_span("stage"):
+                add_work(3)
+        assert current_tracer() is NULL_TRACER
+        assert tracer.to_dict()["spans"]["stage"]["work"] == 3
+
+    def test_use_tracer_none_keeps_current(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with use_tracer(None):  # composes: keeps the outer tracer
+                with trace_span("stage"):
+                    add_work(2)
+        assert tracer.to_dict()["spans"]["stage"]["work"] == 2
+
+
+class TestExport:
+    def make_trace(self):
+        tracer = Tracer()
+        with tracer.span("setup"):
+            tracer.add_work(100)
+        with tracer.span("detect"):
+            with tracer.span("fine_tune"):
+                tracer.add_work(50)
+        tracer.incr("kdtree.queries", 9)
+        tracer.observe("ambiguous", 12.0)
+        return tracer.to_dict()
+
+    def test_json_round_trip(self, tmp_path):
+        trace = self.make_trace()
+        path = str(tmp_path / "trace.json")
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+        # The file itself is plain JSON.
+        with open(path) as fh:
+            assert json.load(fh) == trace
+
+    def test_flatten_spans_paths(self):
+        flat = flatten_spans(self.make_trace())
+        assert flat["setup"]["work"] == 100
+        assert flat["detect/fine_tune"]["work"] == 50
+
+    def test_merge_adds_work_counters_and_stats(self):
+        a, b = self.make_trace(), self.make_trace()
+        merged = merge_trace_dicts([a, b])
+        flat = flatten_spans(merged)
+        assert flat["setup"]["work"] == 200
+        assert flat["setup"]["calls"] == 2
+        assert merged["counters"]["kdtree.queries"] == 18
+        assert merged["metrics"]["ambiguous"]["count"] == 2
+
+    def test_format_summary_lists_stages(self):
+        text = format_summary(self.make_trace())
+        assert "setup" in text and "fine_tune" in text
+        assert "kdtree.queries" in text
+
+
+class TestBaselineGate:
+    def make_trace(self, work=100):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            tracer.add_work(work)
+        return tracer.to_dict()
+
+    def test_within_tolerance_passes(self):
+        violations = compare_stage_work(self.make_trace(110),
+                                        self.make_trace(100),
+                                        tolerance=0.15)
+        assert violations == []
+
+    def test_outside_tolerance_fails(self):
+        violations = compare_stage_work(self.make_trace(200),
+                                        self.make_trace(100),
+                                        tolerance=0.15)
+        assert len(violations) == 1
+        assert "stage" in violations[0]
+
+    def test_missing_stage_is_violation(self):
+        empty = Tracer().to_dict()
+        violations = compare_stage_work(empty, self.make_trace(100))
+        assert any("missing" in v for v in violations)
+
+    def test_tiny_baseline_stages_skipped(self):
+        violations = compare_stage_work(self.make_trace(0),
+                                        self.make_trace(0))
+        assert violations == []
+
+
+class TestPipelineIntegration:
+    def test_enld_trace_covers_pipeline_stages(self):
+        from repro.core.config import ENLDConfig
+        from repro.core.enld import ENLD
+        from repro.datasets import (generate, split_inventory_incremental,
+                                    toy)
+        from repro.noise import corrupt_labels, pair_asymmetric
+
+        data = generate(toy(num_classes=4, samples_per_class=40), seed=3)
+        rng = np.random.default_rng(4)
+        inventory_clean, pool = split_inventory_incremental(data, rng)
+        transition = pair_asymmetric(4, 0.2)
+        inventory = corrupt_labels(inventory_clean, transition, rng)
+        arrival = corrupt_labels(pool.subset(np.arange(40), name="d1"),
+                                 transition, np.random.default_rng(5))
+
+        tracer = Tracer()
+        config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 16},
+                            init_epochs=2, iterations=2, seed=6)
+        enld = ENLD(config, tracer=tracer).initialize(inventory,
+                                                      num_classes=4)
+        enld.detect(arrival)
+
+        flat = flatten_spans(tracer.to_dict())
+        for stage in ("setup", "setup/train_general", "detect",
+                      "detect/contrastive_sampling", "detect/warmup",
+                      "detect/iteration/fine_tune",
+                      "detect/iteration/vote"):
+            assert stage in flat, f"missing stage {stage}"
+        # Training stages carry sample-epoch work.
+        assert flat["setup/train_general"]["work"] > 0
+        assert flat["detect/iteration/fine_tune"]["work"] > 0
+        counters = tracer.to_dict()["counters"]
+        assert counters.get("detector.vote_rounds", 0) >= 2
+        assert counters.get("kdtree.queries", 0) > 0

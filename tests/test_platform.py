@@ -105,3 +105,37 @@ class TestScheduledUpdates:
         for arrival in world["arrivals"]:
             report = platform.submit(arrival)
             assert report.record.total == len(arrival)
+
+
+class TestTracing:
+    def test_untraced_platform_has_no_trace(self, world):
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"])
+        report = platform.submit(world["arrivals"][0])
+        assert report.trace is None
+        assert "trace" not in platform.quality_report()
+
+    def test_submission_reports_carry_traces(self, world):
+        from repro.obs import flatten_spans
+
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"], trace=True)
+        report = platform.submit(world["arrivals"][0])
+        assert report.trace is not None
+        flat = flatten_spans(report.trace)
+        assert "detect/iteration/fine_tune" in flat
+        assert report.trace["counters"]["platform.submissions"] == 1
+
+    def test_quality_report_merges_traces(self, world):
+        from repro.obs import flatten_spans
+
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"], trace=True)
+        for arrival in world["arrivals"][:2]:
+            platform.submit(arrival)
+        merged = platform.quality_report()["trace"]
+        flat = flatten_spans(merged)
+        # Setup trace (one initialize) + both submissions.
+        assert flat["setup"]["calls"] == 1
+        assert flat["detect"]["calls"] == 2
+        assert merged["counters"]["platform.submissions"] == 2

@@ -116,3 +116,45 @@ class TestAnyOf:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             AnyOf([])
+
+    def test_nested_anyof(self):
+        sched = AnyOf([AnyOf([EveryNArrivals(2)]), CleanPoolGrowth(10)])
+        sched.observe(make_result())
+        assert not sched.should_update()
+        sched.observe(make_result())
+        assert sched.should_update()
+
+    def test_recycles_after_reset(self):
+        sched = AnyOf([EveryNArrivals(2)])
+        for cycle in range(3):
+            sched.observe(make_result())
+            assert not sched.should_update(), f"cycle {cycle}"
+            sched.observe(make_result())
+            assert sched.should_update(), f"cycle {cycle}"
+            sched.notify_updated()
+
+
+class TestMarginalCases:
+    def test_every_one_fires_each_arrival(self):
+        sched = EveryNArrivals(1)
+        for _ in range(3):
+            sched.observe(make_result())
+            assert sched.should_update()
+            sched.notify_updated()
+
+    def test_growth_forgets_positions_after_update(self):
+        sched = CleanPoolGrowth(2)
+        sched.observe(make_result(clean_positions=[1, 2]))
+        assert sched.should_update()
+        sched.notify_updated()
+        # The same positions arriving again are new growth for the
+        # *next* update cycle, not leftovers of the previous one.
+        sched.observe(make_result(clean_positions=[1, 2]))
+        assert sched.should_update()
+
+    def test_degradation_all_noisy_window(self):
+        sched = DetectionDegradation(window=2, tolerance=0.1)
+        sched.observe(make_result(0, 10))
+        sched.observe(make_result(0, 10))
+        # Constant (if terrible) flagged rate is not degradation.
+        assert not sched.should_update()

@@ -1,8 +1,6 @@
 """Tests for repro.nn.train, repro.nn.mixup, repro.nn.serialize,
 repro.nn.metrics."""
 
-import os
-
 import numpy as np
 import pytest
 
