@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples lint trace-smoke clean
+.PHONY: install test bench report examples lint trace-smoke chaos-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,13 @@ trace-smoke:
 		-o trace_smoke.json \
 		--baseline benchmarks/baselines/trace_smoke.json
 
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		tests/test_resilience.py tests/test_checkpoint_resume.py
+	PYTHONPATH=src $(PYTHON) -m repro chaos --arrivals 5 --times 3 \
+		--fail-stage iteration --fail-stage vote \
+		--checkpoint-dir chaos_ckpt
+
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info
+	rm -rf build dist *.egg-info src/*.egg-info chaos_ckpt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -8,6 +8,7 @@ Usage::
     python -m repro demo --dataset toy
     python -m repro trace -o trace.json
     python -m repro trace --baseline benchmarks/baselines/trace_smoke.json
+    python -m repro chaos --fail-stage iteration --fail-stage vote
 
 ``run`` executes one of the paper's figure/table drivers and prints the
 paper-style table; ``demo`` runs a minimal end-to-end detection;
@@ -15,12 +16,17 @@ paper-style table; ``demo`` runs a minimal end-to-end detection;
 tree (wall-clock + sample-epoch work counts) and can gate it against a
 checked-in baseline — the CI perf-smoke job.  ``run`` and ``demo``
 accept ``--trace-out FILE`` to export a trace of any invocation.
+``chaos`` drives the platform through a fault-injected arrival stream
+(plus one malformed arrival) and a checkpoint/resume round-trip,
+proving the submissions degrade instead of crashing — the CI
+chaos-smoke job.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -241,6 +247,101 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Fault-injected platform run + checkpoint/resume round-trip.
+
+    Builds the toy (or chosen) world, submits ``--arrivals`` incremental
+    datasets through a :class:`NoisyLabelPlatform` while a seeded
+    :class:`FaultPlan` injects failures at the requested stages, appends
+    one malformed arrival to exercise admission control, then
+    checkpoints, resumes and verifies the resumed catalog state is
+    byte-identical.  Exit code 0 means every submission completed
+    (degraded or quarantined, never crashed) and the resume round-trip
+    held; 1 otherwise.
+    """
+    import numpy as np
+
+    from .core import ENLDConfig
+    from .datalake import (ArrivalStream, FaultPlan, FaultRule,
+                           NoisyLabelPlatform, RetryPolicy, catalog_state)
+    from .datalake.resilience import INJECTABLE_STAGES
+    from .datasets import generate, get_preset, split_inventory_incremental
+    from .datasets.splits import ShardPlan
+    from .nn.data import LabeledDataset
+    from .noise import corrupt_labels, pair_asymmetric
+
+    fail_stages = args.fail_stage or ["iteration"]
+    for stage in fail_stages:
+        if stage not in INJECTABLE_STAGES:
+            print(f"unknown stage {stage!r}; injectable: "
+                  f"{', '.join(INJECTABLE_STAGES)}", file=sys.stderr)
+            return 2
+
+    spec = get_preset(args.dataset) if args.dataset == "toy" \
+        else get_preset(args.dataset, scale="small")
+    data = generate(spec, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(spec.num_classes, args.noise_rate)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    plan = ShardPlan(num_shards=args.arrivals,
+                     classes_per_shard=min(3, spec.num_classes))
+    arrivals = ArrivalStream(pool, plan, transition=transition,
+                             seed=args.seed + 2).arrivals()
+
+    fault_plan = FaultPlan(
+        [FaultRule(s, probability=1.0, times=args.times)
+         for s in fail_stages],
+        seed=args.seed)
+    config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
+                        init_epochs=10, iterations=2,
+                        steps_per_iteration=3, seed=args.seed)
+    platform = NoisyLabelPlatform(
+        inventory, config=config, num_classes=spec.num_classes, trace=True,
+        fault_plan=fault_plan,
+        retry=RetryPolicy(backoff_base=0.0, sleep=lambda _s: None),
+        journal_path=(os.path.join(args.checkpoint_dir, "journal.jsonl")
+                      if args.checkpoint_dir else None))
+
+    statuses = []
+    for arrival in arrivals:
+        report = platform.submit(arrival)
+        status = ("degraded" if report.degraded else "ok")
+        statuses.append(status)
+        print(f"{arrival.name}: {status} (retries={report.retries})")
+    poison = LabeledDataset(
+        np.full((4, inventory.feature_dim), np.nan),
+        np.zeros(4, dtype=int), name="malformed-arrival")
+    report = platform.submit(poison)
+    statuses.append("quarantined" if report.quarantined else "ok")
+    print(f"{poison.name}: {statuses[-1]}")
+
+    resume_ok = True
+    if args.checkpoint_dir:
+        platform.checkpoint(args.checkpoint_dir)
+        resumed = NoisyLabelPlatform.resume(
+            args.checkpoint_dir, inventory, arrivals=arrivals)
+        before = json.dumps(catalog_state(platform.catalog), sort_keys=True)
+        after = json.dumps(catalog_state(resumed.catalog), sort_keys=True)
+        resume_ok = before == after
+        print(f"checkpoint/resume round-trip: "
+              f"{'byte-identical' if resume_ok else 'MISMATCH'}")
+
+    counters = platform.quality_report()
+    summary = {
+        "arrivals": len(arrivals),
+        "statuses": statuses,
+        "degraded": counters["degraded_submissions"],
+        "quarantined": counters["quarantined_submissions"],
+        "retries": counters["retries"],
+        "injected": dict(platform._fault_injector.injected),
+        "resume_ok": resume_ok,
+    }
+    print(json.dumps(summary, indent=2))
+    survived = counters["quarantined_submissions"] >= 1 and resume_ok
+    return 0 if survived else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -299,6 +400,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--quiet", action="store_true",
                          help="suppress the summary table")
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injected platform run + resume round-trip")
+    p_chaos.add_argument("--dataset", default="toy",
+                         choices=["toy", "emnist_like", "cifar100_like",
+                                  "tiny_imagenet_like"])
+    p_chaos.add_argument("--noise-rate", type=float, default=0.2)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--arrivals", type=int, default=5,
+                         help="number of incremental datasets to stream")
+    p_chaos.add_argument("--fail-stage", action="append", default=None,
+                         help="stage to inject a failure into "
+                              "(repeatable; default: iteration)")
+    p_chaos.add_argument("--times", type=int, default=1,
+                         help="injections per stage; max_retries+1 "
+                              "forces the coarse fallback (default 1: "
+                              "one retry absorbs the fault)")
+    p_chaos.add_argument("--checkpoint-dir",
+                         help="checkpoint here and verify a resume "
+                              "round-trip (also enables the journal)")
+    p_chaos.set_defaults(fn=cmd_chaos, fail_stage=None)
     return parser
 
 

@@ -58,6 +58,8 @@ class DetectionResult:
     ``clean_mask`` / ``noisy_mask`` partition the *labelled* rows of
     ``D``; rows with missing labels are in neither and receive
     ``pseudo_labels`` instead (-1 for rows that had observed labels).
+    ``pseudo_labels`` is ``None`` for coarse/fallback detectors that
+    run no voting steps and therefore cannot pseudo-label.
     ``inventory_clean_positions`` index rows of the candidate pool
     ``I_c`` voted clean with the stringent criterion.
     """
@@ -65,7 +67,7 @@ class DetectionResult:
     clean_mask: np.ndarray
     noisy_mask: np.ndarray
     inventory_clean_positions: np.ndarray
-    pseudo_labels: np.ndarray
+    pseudo_labels: Optional[np.ndarray]
     trace: List[IterationSnapshot] = field(default_factory=list)
     train_samples: int = 0
     process_seconds: float = 0.0

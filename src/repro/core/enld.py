@@ -145,6 +145,77 @@ class ENLD:
         return self
 
     # ------------------------------------------------------------------
+    # Crash-safe state export / import (platform checkpointing)
+    # ------------------------------------------------------------------
+    def reseed(self, seed: int) -> None:
+        """Replace the detection RNG (degradation retries re-roll it)."""
+        self._rng = np.random.default_rng(seed)
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of all mutable ENLD state except ``θ``.
+
+        Model weights are deliberately excluded — they are arrays and
+        belong in an ``nn.serialize`` checkpoint next to this state.
+        The inventory halves are stored *by id* (the payloads live in
+        the lake); :meth:`load_state` rebuilds the row subsets from the
+        inventory handed back at resume time.
+        """
+        self._require_initialized()
+        return {
+            "num_classes": int(self.num_classes),
+            "setup_seconds": float(self.setup_seconds),
+            "setup_train_samples": int(self.setup_train_samples),
+            "inventory_train_ids": [int(i)
+                                    for i in self.inventory_train.ids],
+            "inventory_candidate_ids": [
+                int(i) for i in self.inventory_candidates.ids],
+            "cond_prob": self.cond_prob.tolist(),
+            "clean_candidate_positions": sorted(
+                self._clean_candidate_positions),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_state(self, state: dict,
+                   inventory: LabeledDataset) -> "ENLD":
+        """Reconstruct the state captured by :meth:`state_dict`.
+
+        ``inventory`` must be the same inventory dataset (same ids) the
+        exporting platform was built on; the general model is rebuilt
+        with the configured architecture and zero-initialised — load
+        its weights from the sibling checkpoint afterwards.  Returns
+        ``self`` for chaining.
+        """
+        position_of = {int(i): p for p, i in enumerate(inventory.ids)}
+        try:
+            train_pos = [position_of[i]
+                         for i in state["inventory_train_ids"]]
+            cand_pos = [position_of[i]
+                        for i in state["inventory_candidate_ids"]]
+        except KeyError as exc:
+            raise ValueError(
+                f"inventory id {exc.args[0]} from the checkpoint is not "
+                f"present in the provided inventory "
+                f"{inventory.name!r}") from None
+        self.num_classes = int(state["num_classes"])
+        self.setup_seconds = float(state["setup_seconds"])
+        self.setup_train_samples = int(state["setup_train_samples"])
+        self.inventory_train = inventory.subset(
+            np.asarray(train_pos, dtype=int),
+            name=f"{inventory.name}/I_t")
+        self.inventory_candidates = inventory.subset(
+            np.asarray(cand_pos, dtype=int),
+            name=f"{inventory.name}/I_c")
+        self.cond_prob = np.asarray(state["cond_prob"], dtype=float)
+        self._clean_candidate_positions = set(
+            int(p) for p in state["clean_candidate_positions"])
+        self.model = build_model(
+            self.config.model_name, inventory.feature_dim,
+            self.num_classes, rng=self._rng, **self.config.model_kwargs)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._rng.bit_generator.state = state["rng_state"]
+        return self
+
+    # ------------------------------------------------------------------
     def _require_initialized(self) -> None:
         if self.model is None:
             raise NotInitializedError(

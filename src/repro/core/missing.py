@@ -23,9 +23,24 @@ def missing_rows(dataset: LabeledDataset) -> np.ndarray:
     return np.nonzero(dataset.y == MISSING_LABEL)[0]
 
 
+def _require_pseudo_labels(result: DetectionResult) -> None:
+    """Clear error when a detector produced no pseudo-label votes.
+
+    Coarse/fallback detectors (e.g. the general-model disagreement
+    fallback of :mod:`repro.datalake.resilience`) run no voting steps,
+    so ``pseudo_labels`` is ``None`` and §V-H scoring is undefined.
+    """
+    if result.pseudo_labels is None:
+        raise ValueError(
+            f"detector {result.detector_name!r} produced no pseudo labels "
+            "(coarse/fallback detectors don't vote); re-run the arrival "
+            "through fine-grained detection to score missing labels")
+
+
 def pseudo_label_accuracy(result: DetectionResult,
                           dataset: LabeledDataset) -> float:
     """Fraction of missing-label samples whose pseudo label is correct."""
+    _require_pseudo_labels(result)
     if dataset.true_y is None:
         raise ValueError("dataset has no ground truth")
     rows = missing_rows(dataset)
@@ -42,6 +57,7 @@ def pseudo_label_f1(result: DetectionResult,
     labels of the missing rows, matching the paper's 'average f1 scores
     of the pseudo label' reporting.
     """
+    _require_pseudo_labels(result)
     if dataset.true_y is None:
         raise ValueError("dataset has no ground truth")
     rows = missing_rows(dataset)
@@ -62,6 +78,7 @@ def pseudo_label_f1(result: DetectionResult,
 def missing_label_report(result: DetectionResult,
                          dataset: LabeledDataset) -> Dict[str, float]:
     """Summary of the §V-H experiment for one dataset."""
+    _require_pseudo_labels(result)
     rows = missing_rows(dataset)
     return {
         "missing_count": int(rows.size),

@@ -38,6 +38,18 @@ class UpdateScheduler(ABC):
     def notify_updated(self) -> None:
         """Reset any state that the model update invalidates."""
 
+    # -- checkpointable state (platform crash/resume) -------------------
+    def params(self) -> dict:
+        """Constructor arguments, for rebuilding the scheduler."""
+        return {}
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of the mutable scheduling state."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+
 
 class EveryNArrivals(UpdateScheduler):
     """Fixed cadence: update after every ``n`` processed arrivals."""
@@ -56,6 +68,15 @@ class EveryNArrivals(UpdateScheduler):
 
     def notify_updated(self) -> None:
         self._count = 0
+
+    def params(self) -> dict:
+        return {"n": self.n}
+
+    def state_dict(self) -> dict:
+        return {"count": self._count}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._count = int(state["count"])
 
 
 class CleanPoolGrowth(UpdateScheduler):
@@ -80,6 +101,15 @@ class CleanPoolGrowth(UpdateScheduler):
 
     def notify_updated(self) -> None:
         self._positions.clear()
+
+    def params(self) -> dict:
+        return {"min_clean_samples": self.min_clean_samples}
+
+    def state_dict(self) -> dict:
+        return {"positions": sorted(self._positions)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._positions = set(int(p) for p in state["positions"])
 
 
 class DetectionDegradation(UpdateScheduler):
@@ -118,6 +148,16 @@ class DetectionDegradation(UpdateScheduler):
         self._history.clear()
         self._last = None
 
+    def params(self) -> dict:
+        return {"window": self.window, "tolerance": self.tolerance}
+
+    def state_dict(self) -> dict:
+        return {"history": list(self._history), "last": self._last}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._history = deque(state["history"], maxlen=self.window)
+        self._last = state["last"]
+
 
 class AnyOf(UpdateScheduler):
     """Composite: update when any member scheduler says so."""
@@ -137,3 +177,47 @@ class AnyOf(UpdateScheduler):
     def notify_updated(self) -> None:
         for scheduler in self.schedulers:
             scheduler.notify_updated()
+
+    def state_dict(self) -> dict:
+        return {"members": [scheduler_to_state(s)
+                            for s in self.schedulers]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.schedulers = [scheduler_from_state(m)
+                           for m in state["members"]]
+
+
+# ----------------------------------------------------------------------
+# Checkpointable reconstruction (used by NoisyLabelPlatform.resume)
+# ----------------------------------------------------------------------
+_SCHEDULER_TYPES = {
+    "EveryNArrivals": EveryNArrivals,
+    "CleanPoolGrowth": CleanPoolGrowth,
+    "DetectionDegradation": DetectionDegradation,
+    "AnyOf": AnyOf,
+}
+
+
+def scheduler_to_state(scheduler: UpdateScheduler) -> dict:
+    """Full reconstruction record: type + constructor params + state."""
+    return {"type": type(scheduler).__name__,
+            "params": scheduler.params(),
+            "state": scheduler.state_dict()}
+
+
+def scheduler_from_state(record: dict) -> UpdateScheduler:
+    """Rebuild a scheduler saved by :func:`scheduler_to_state`."""
+    try:
+        cls = _SCHEDULER_TYPES[record["type"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler type {record['type']!r}; "
+            f"known: {sorted(_SCHEDULER_TYPES)}") from None
+    if cls is AnyOf:
+        # Members carry their own params; construct then restore.
+        scheduler = AnyOf([scheduler_from_state(m)
+                           for m in record["state"]["members"]])
+    else:
+        scheduler = cls(**record["params"])
+        scheduler.load_state_dict(record["state"])
+    return scheduler

@@ -1,10 +1,24 @@
-"""``repro.datalake`` — platform-side catalog and arrival simulation."""
+"""``repro.datalake`` — platform-side catalog, arrival simulation and
+resilience (admission control, graceful degradation, checkpoint/resume,
+deterministic fault injection)."""
 
-from .catalog import DataLakeCatalog, DetectionRecord
-from .persistence import catalog_state, load_catalog_state, save_catalog
+from .catalog import DataLakeCatalog, DetectionRecord, QuarantineRecord
+from .persistence import (append_journal, atomic_write_json, catalog_state,
+                          load_catalog_state, read_journal,
+                          restore_catalog_state, save_catalog)
 from .platform import NoisyLabelPlatform, SubmissionReport
+from .resilience import (INJECTABLE_STAGES, NO_WAIT_RETRY, FailureEvent,
+                         FaultInjector, FaultPlan, FaultRule, InjectedFault,
+                         RetryPolicy, admission_errors,
+                         coarse_fallback_detect)
 from .stream import ArrivalStream
 
-__all__ = ["DataLakeCatalog", "DetectionRecord", "ArrivalStream",
-           "NoisyLabelPlatform", "SubmissionReport",
-           "save_catalog", "load_catalog_state", "catalog_state"]
+__all__ = ["DataLakeCatalog", "DetectionRecord", "QuarantineRecord",
+           "ArrivalStream", "NoisyLabelPlatform", "SubmissionReport",
+           "save_catalog", "load_catalog_state", "restore_catalog_state",
+           "catalog_state", "append_journal", "read_journal",
+           "atomic_write_json",
+           "FaultPlan", "FaultRule", "FaultInjector", "InjectedFault",
+           "RetryPolicy", "NO_WAIT_RETRY", "FailureEvent",
+           "admission_errors", "coarse_fallback_detect",
+           "INJECTABLE_STAGES"]

@@ -8,17 +8,28 @@ models that platform state:
 - the inventory dataset and its ``I_t`` / ``I_c`` halves;
 - a registry of arrived incremental datasets;
 - per-dataset detection results (clean/noisy sample ids);
-- accumulated clean inventory ids ``S_c`` feeding the model update.
+- accumulated clean inventory ids ``S_c`` feeding the model update;
+- a quarantine of arrivals rejected by admission control, kept with
+  their rejection reasons so operators can audit and re-submit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 import numpy as np
 
 from ..nn.data import LabeledDataset
+
+
+@dataclass
+class QuarantineRecord:
+    """An arrival rejected by admission control, with the reasons why."""
+
+    dataset_name: str
+    reasons: List[str] = field(default_factory=list)
+    num_samples: int = 0
 
 
 @dataclass
@@ -47,6 +58,7 @@ class DataLakeCatalog:
         self.inventory = inventory
         self._arrivals: Dict[str, LabeledDataset] = {}
         self._records: Dict[str, DetectionRecord] = {}
+        self._quarantine: Dict[str, QuarantineRecord] = {}
         self._clean_inventory_ids: set = set()
 
     # -- arrivals -----------------------------------------------------------
@@ -86,6 +98,26 @@ class DataLakeCatalog:
     def processed_names(self) -> List[str]:
         return list(self._records)
 
+    # -- quarantine (admission-control rejects) -------------------------------
+    def quarantine_arrival(self, record: QuarantineRecord) -> None:
+        """File an arrival rejected by admission control.
+
+        Re-submissions of the same name overwrite the previous entry —
+        the latest rejection reasons are the ones that matter.
+        """
+        self._quarantine[record.dataset_name] = record
+
+    def get_quarantine(self, name: str) -> QuarantineRecord:
+        try:
+            return self._quarantine[name]
+        except KeyError:
+            raise KeyError(f"no quarantined arrival named {name!r}; "
+                           f"known: {sorted(self._quarantine)}")
+
+    @property
+    def quarantined_names(self) -> List[str]:
+        return list(self._quarantine)
+
     # -- inventory clean-sample accumulation ---------------------------------
     def add_clean_inventory_ids(self, ids: np.ndarray) -> None:
         """Union new clean inventory ids ``S_c'`` into the running set."""
@@ -107,7 +139,8 @@ class DataLakeCatalog:
         """Aggregate detection statistics across processed arrivals."""
         if not self._records:
             return {"datasets_processed": 0, "samples_screened": 0,
-                    "flagged_fraction": 0.0, "mean_process_seconds": 0.0}
+                    "flagged_fraction": 0.0, "mean_process_seconds": 0.0,
+                    "datasets_quarantined": len(self._quarantine)}
         totals = [r.total for r in self._records.values()]
         flagged = [len(r.noisy_ids) for r in self._records.values()]
         times = [r.process_seconds for r in self._records.values()]
@@ -117,4 +150,5 @@ class DataLakeCatalog:
             "samples_screened": screened,
             "flagged_fraction": (sum(flagged) / screened) if screened else 0.0,
             "mean_process_seconds": float(np.mean(times)),
+            "datasets_quarantined": len(self._quarantine),
         }

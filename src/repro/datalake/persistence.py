@@ -1,26 +1,84 @@
-"""Catalog persistence: survive platform restarts.
+"""Catalog & platform persistence: survive restarts *and* crashes.
 
 A real data platform runs for months; detection bookkeeping must
 outlive the process.  These helpers serialise the mutable state of a
-:class:`~repro.datalake.catalog.DataLakeCatalog` — detection records
-and the accumulated clean-inventory ids — to JSON.  Dataset payloads
-(the arrays) are *not* serialised; they live in the lake itself and are
-re-registered on restart.
+:class:`~repro.datalake.catalog.DataLakeCatalog` — detection records,
+quarantine entries and the accumulated clean-inventory ids — to JSON,
+and extend to full platform checkpoints (catalog + ENLD's ``P̃`` matrix
+and inventory split + scheduler counters + model weights via
+:mod:`repro.nn.serialize`).  Dataset payloads (the arrays) are *not*
+serialised; they live in the lake itself and are re-registered on
+restart.
+
+Crash safety rests on two mechanisms:
+
+- every file is written **atomically** (temp file in the target
+  directory, then :func:`os.replace`), so a kill mid-write leaves the
+  previous checkpoint intact, never a torn one;
+- the platform appends one line per submission to a **journal**
+  (JSON-lines, fsync'd), so after a crash the operator can diff the
+  journal against the last checkpoint and re-submit the tail.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict
+import tempfile
+from typing import Dict, List
 
 import numpy as np
 
-from .catalog import DataLakeCatalog, DetectionRecord
+from .catalog import DataLakeCatalog, DetectionRecord, QuarantineRecord
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: File names inside a platform checkpoint directory.
+PLATFORM_STATE_FILE = "platform.json"
+MODEL_WEIGHTS_FILE = "model.npz"
 
 
+# ----------------------------------------------------------------------
+# Atomic file primitives
+# ----------------------------------------------------------------------
+def atomic_write_json(path: str, payload: Dict) -> None:
+    """Write JSON via temp-file + :func:`os.replace` (atomic on POSIX)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def atomic_write_npz(path: str, arrays: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` archive atomically (temp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp.npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+# ----------------------------------------------------------------------
+# Catalog state
+# ----------------------------------------------------------------------
 def catalog_state(catalog: DataLakeCatalog) -> Dict:
     """Extract the serialisable state of a catalog."""
     records = []
@@ -33,37 +91,43 @@ def catalog_state(catalog: DataLakeCatalog) -> Dict:
             "process_seconds": record.process_seconds,
             "detector": record.detector,
         })
+    quarantined = []
+    for name in catalog.quarantined_names:
+        q = catalog.get_quarantine(name)
+        quarantined.append({
+            "dataset_name": q.dataset_name,
+            "reasons": list(q.reasons),
+            "num_samples": int(q.num_samples),
+        })
     return {
         "version": _FORMAT_VERSION,
         "records": records,
+        "quarantined": quarantined,
         "clean_inventory_ids": [int(i) for i in
                                 catalog.clean_inventory_ids],
     }
 
 
 def save_catalog(catalog: DataLakeCatalog, path: str) -> None:
-    """Write the catalog's detection state to ``path`` (JSON)."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(catalog_state(catalog), fh, indent=2)
+    """Atomically write the catalog's detection state to ``path``."""
+    atomic_write_json(path, catalog_state(catalog))
 
 
-def load_catalog_state(catalog: DataLakeCatalog, path: str,
-                       strict: bool = True) -> int:
-    """Restore detection records into ``catalog`` from ``path``.
+def restore_catalog_state(catalog: DataLakeCatalog, state: Dict,
+                          strict: bool = True) -> int:
+    """Restore an in-memory state dict into ``catalog`` transactionally.
 
-    Arrivals referenced by stored records must already be registered
-    (they come from the lake); with ``strict=False`` unknown datasets
-    are skipped instead of raising.  Returns the number of records
-    restored.
+    All records are staged and validated first; the catalog is only
+    mutated once every stored record has been checked, so a failure in
+    strict mode leaves the catalog exactly as it was (no partial
+    restore).  Returns the number of detection records restored.
     """
-    with open(path) as fh:
-        state = json.load(fh)
-    if state.get("version") != _FORMAT_VERSION:
+    if state.get("version") not in _SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported catalog state version {state.get('version')!r}")
-    restored = 0
+    # Stage: build every record and validate its arrival is known.
+    staged: List[DetectionRecord] = []
+    known = set(catalog.arrival_names)
     for item in state["records"]:
         record = DetectionRecord(
             dataset_name=item["dataset_name"],
@@ -72,12 +136,72 @@ def load_catalog_state(catalog: DataLakeCatalog, path: str,
             process_seconds=item["process_seconds"],
             detector=item.get("detector", "enld"),
         )
-        try:
-            catalog.record_detection(record)
-            restored += 1
-        except KeyError:
+        if record.dataset_name not in known:
             if strict:
-                raise
+                raise KeyError(
+                    f"cannot restore detection for unknown dataset "
+                    f"{record.dataset_name!r}; register the arrival first "
+                    f"or pass strict=False")
+            continue
+        staged.append(record)
+    quarantined = [QuarantineRecord(dataset_name=item["dataset_name"],
+                                    reasons=list(item["reasons"]),
+                                    num_samples=int(item["num_samples"]))
+                   for item in state.get("quarantined", [])]
+    # Commit: nothing above mutated the catalog.
+    for record in staged:
+        catalog.record_detection(record)
+    for q in quarantined:
+        catalog.quarantine_arrival(q)
     catalog.add_clean_inventory_ids(
         np.asarray(state["clean_inventory_ids"], dtype=np.int64))
-    return restored
+    return len(staged)
+
+
+def load_catalog_state(catalog: DataLakeCatalog, path: str,
+                       strict: bool = True) -> int:
+    """Restore detection records into ``catalog`` from ``path``.
+
+    Arrivals referenced by stored records must already be registered
+    (they come from the lake); with ``strict=False`` unknown datasets
+    are skipped instead of raising.  The restore is transactional: in
+    strict mode a validation failure leaves the catalog untouched.
+    Returns the number of records restored.
+    """
+    with open(path) as fh:
+        state = json.load(fh)
+    return restore_catalog_state(catalog, state, strict=strict)
+
+
+# ----------------------------------------------------------------------
+# Per-submission journal (JSON lines, append-only, fsync'd)
+# ----------------------------------------------------------------------
+def append_journal(path: str, entry: Dict) -> None:
+    """Append one JSON line to the submission journal, durably."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def read_journal(path: str) -> List[Dict]:
+    """All journal entries in order; missing file reads as empty.
+
+    A torn final line (the process died mid-append) is tolerated and
+    dropped — everything before it is intact by construction.
+    """
+    if not os.path.exists(path):
+        return []
+    entries: List[Dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+    return entries

@@ -5,6 +5,23 @@ the concrete realisation of the paper's Fig. 1: a data lake holding
 inventory data, serving continuous noisy-label-detection requests, with
 optional automated general-model refreshes.
 
+The platform is hardened for long-running service (see
+:mod:`repro.datalake.resilience`):
+
+- arrivals pass **admission control** before any detection work;
+  rejects are quarantined into the catalog with their reasons instead
+  of raising;
+- a failure inside fine-grained detection (Alg. 3) is **retried** with
+  exponential backoff and a reseeded RNG, then **degrades** to the
+  coarse general-model disagreement decision — the submission still
+  completes, flagged ``degraded=True`` with the failure chain attached;
+- :meth:`NoisyLabelPlatform.checkpoint` /
+  :meth:`NoisyLabelPlatform.resume` provide **crash-safe** round-trips
+  of the full platform state (catalog, ``P̃``, inventory split,
+  clean-inventory ids, scheduler counters, model weights), written
+  atomically; an optional per-submission **journal** records every
+  outcome durably.
+
 Typical usage::
 
     from repro.datalake import NoisyLabelPlatform
@@ -22,30 +39,59 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.config import ENLDConfig
 from ..core.detector import DetectionResult
 from ..core.enld import ENLD
-from ..core.scheduler import UpdateScheduler
+from ..core.scheduler import (UpdateScheduler, scheduler_from_state,
+                              scheduler_to_state)
 from ..nn.data import LabeledDataset
-from ..obs import Tracer, incr, merge_trace_dicts, use_tracer
-from .catalog import DataLakeCatalog, DetectionRecord
+from ..nn.serialize import load_checkpoint, save_checkpoint
+from ..obs import Tracer, incr, merge_trace_dicts, use_span_hook, use_tracer
+from .catalog import DataLakeCatalog, DetectionRecord, QuarantineRecord
+from .persistence import (MODEL_WEIGHTS_FILE, PLATFORM_STATE_FILE,
+                          append_journal, atomic_write_json, catalog_state,
+                          restore_catalog_state)
+from .resilience import (FailureEvent, FaultPlan, RetryPolicy,
+                         admission_errors, coarse_fallback_detect,
+                         describe_failure)
+
+_PLATFORM_FORMAT_VERSION = 1
 
 
 @dataclass
 class SubmissionReport:
-    """Everything the platform learned from one submitted dataset."""
+    """Everything the platform learned from one submitted dataset.
 
-    result: DetectionResult
-    record: DetectionRecord
-    updated_model: bool
+    ``result`` and ``record`` are ``None`` only for quarantined
+    submissions (admission control rejected the arrival before any
+    detection ran).  ``degraded`` marks submissions served by the
+    coarse fallback after the retry budget was exhausted; ``failures``
+    carries the full failure chain in either case.
+    """
+
+    result: Optional[DetectionResult] = None
+    record: Optional[DetectionRecord] = None
+    updated_model: bool = False
     # Exported per-submission trace (spans/counters/metrics); None
     # unless the platform was built with trace=True.
     trace: Optional[dict] = None
+    degraded: bool = False
+    quarantined: bool = False
+    retries: int = 0
+    failures: List[FailureEvent] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the submission completed un-degraded."""
+        return not (self.degraded or self.quarantined)
 
 
 class NoisyLabelPlatform:
@@ -68,19 +114,50 @@ class NoisyLabelPlatform:
         :class:`repro.obs.Tracer`; the exported trace is attached to
         the :class:`SubmissionReport` and the running aggregate is
         reported by :meth:`quality_report`.
+    retry:
+        :class:`RetryPolicy` for fine-grained detection failures;
+        ``None`` uses the default (2 retries, exponential backoff).
+    admission:
+        When ``True`` (default) arrivals are validated before
+        detection and rejects quarantined; ``False`` restores the
+        raise-on-bad-input behaviour.
+    fallback:
+        When ``True`` (default) an exhausted retry budget degrades to
+        the coarse general-model disagreement decision; ``False``
+        re-raises the last failure instead.
+    fault_plan:
+        Optional :class:`FaultPlan` injected at the obs span
+        boundaries of every submission — the deterministic chaos
+        harness used by tests and ``repro chaos``.
+    journal_path:
+        Optional JSON-lines file; every submission appends one durable
+        entry (name, status, detector, retries, counts).
     """
 
     def __init__(self, inventory: LabeledDataset,
                  config: Optional[ENLDConfig] = None,
                  scheduler: Optional[UpdateScheduler] = None,
                  num_classes: Optional[int] = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 admission: bool = True,
+                 fallback: bool = True,
+                 fault_plan: Optional[FaultPlan] = None,
+                 journal_path: Optional[str] = None):
         self.catalog = DataLakeCatalog(inventory)
         self.enld = ENLD(config)
         self.scheduler = scheduler
         self.trace_enabled = trace
+        self.retry = retry or RetryPolicy()
+        self.admission = admission
+        self.fallback = fallback
+        self.journal_path = journal_path
+        self._fault_injector = (fault_plan.injector()
+                                if fault_plan is not None else None)
         self.setup_trace: Optional[dict] = None
         self._submission_traces: List[dict] = []
+        # Setup is excluded from fault injection: a platform that
+        # cannot initialise has nothing to degrade to.
         if trace:
             tracer = Tracer()
             with use_tracer(tracer):
@@ -89,6 +166,10 @@ class NoisyLabelPlatform:
         else:
             self.enld.initialize(inventory, num_classes=num_classes)
         self.model_updates: int = 0
+        self.submissions: int = 0
+        self.degraded_submissions: int = 0
+        self.quarantined_submissions: int = 0
+        self.retries_total: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -99,46 +180,226 @@ class NoisyLabelPlatform:
     def submit(self, dataset: LabeledDataset) -> SubmissionReport:
         """Serve one noisy-label-detection request end-to-end.
 
-        Registers the arrival, runs detection, records the outcome,
-        accumulates clean inventory ids, and (if a scheduler is set)
-        triggers the model update when due.
+        Validates and registers the arrival, runs detection (with
+        retry/degradation), records the outcome, accumulates clean
+        inventory ids, and (if a scheduler is set) triggers the model
+        update when due.  Never raises for a malformed arrival or a
+        detection-stage failure — those return quarantined/degraded
+        reports instead.
         """
         tracer = Tracer() if self.trace_enabled else None
         with use_tracer(tracer):
-            self.catalog.register_arrival(dataset)
-            incr("platform.submissions")
-            result = self.enld.detect(dataset)
-            record = DetectionRecord(
-                dataset_name=dataset.name,
-                clean_ids=dataset.ids[result.clean_mask],
-                noisy_ids=dataset.ids[result.noisy_mask],
-                process_seconds=result.process_seconds,
-                detector=result.detector_name,
-            )
-            self.catalog.record_detection(record)
-            self.catalog.add_clean_inventory_ids(
-                self.enld.inventory_candidates.ids[
-                    result.inventory_clean_positions])
-
-            updated = False
-            if self.scheduler is not None:
-                self.scheduler.observe(result)
-                if (self.scheduler.should_update()
-                        and len(self.enld.clean_inventory)):
-                    incr("platform.scheduler_fires")
-                    self.update_model()
-                    self.scheduler.notify_updated()
-                    updated = True
+            report = self._submit_inner(dataset)
         trace = tracer.to_dict() if tracer is not None else None
         if trace is not None:
             self._submission_traces.append(trace)
+        report.trace = trace
+        self._journal(dataset, report)
+        return report
+
+    def _submit_inner(self, dataset: LabeledDataset) -> SubmissionReport:
+        if self.admission:
+            reasons = admission_errors(dataset, self.enld.num_classes,
+                                       self.catalog.arrival_names)
+            if reasons:
+                self.catalog.quarantine_arrival(QuarantineRecord(
+                    dataset_name=dataset.name, reasons=reasons,
+                    num_samples=len(dataset)))
+                self.quarantined_submissions += 1
+                incr("platform.quarantined")
+                return SubmissionReport(
+                    quarantined=True,
+                    failures=[FailureEvent(attempt=0, stage="admission",
+                                           error=r) for r in reasons])
+
+        self.catalog.register_arrival(dataset)
+        self.submissions += 1
+        incr("platform.submissions")
+        result, retries, failures, degraded = self._detect_resilient(dataset)
+        record = DetectionRecord(
+            dataset_name=dataset.name,
+            clean_ids=dataset.ids[result.clean_mask],
+            noisy_ids=dataset.ids[result.noisy_mask],
+            process_seconds=result.process_seconds,
+            detector=result.detector_name,
+        )
+        self.catalog.record_detection(record)
+        self.catalog.add_clean_inventory_ids(
+            self.enld.inventory_candidates.ids[
+                result.inventory_clean_positions])
+
+        updated = False
+        if self.scheduler is not None:
+            self.scheduler.observe(result)
+            if (self.scheduler.should_update()
+                    and len(self.enld.clean_inventory)):
+                incr("platform.scheduler_fires")
+                # A failed refresh must not fail the submission: keep
+                # serving on the current general model and leave the
+                # scheduler armed so the next submission retries.
+                try:
+                    with use_span_hook(self._fault_injector):
+                        self.update_model()
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(describe_failure(0, exc))
+                    incr("platform.update_failures")
+                else:
+                    self.scheduler.notify_updated()
+                    updated = True
         return SubmissionReport(result=result, record=record,
-                                updated_model=updated, trace=trace)
+                                updated_model=updated, degraded=degraded,
+                                retries=retries, failures=failures)
+
+    def _detect_resilient(self, dataset: LabeledDataset):
+        """Detection with retry + reseed, then the coarse fallback.
+
+        Returns ``(result, retries, failures, degraded)``.  Faults from
+        the configured plan are injected at the obs span boundaries of
+        each attempt; the fallback itself runs outside the injector so
+        the degradation path always terminates.
+        """
+        failures: List[FailureEvent] = []
+        attempts = 1 + self.retry.max_retries
+        for attempt in range(attempts):
+            if attempt > 0:
+                self.retries_total += 1
+                incr("platform.retries")
+                self.retry.sleep(self.retry.backoff_seconds(attempt - 1))
+                # Re-roll the detection RNG: a failure tied to one
+                # unlucky sampling draw should not repeat verbatim.
+                self.enld.reseed(
+                    self.enld.config.seed + 7919 * attempt)
+            try:
+                with use_span_hook(self._fault_injector):
+                    return (self.enld.detect(dataset), attempt,
+                            failures, False)
+            except Exception as exc:  # noqa: BLE001 — degrade, never die
+                failures.append(describe_failure(attempt + 1, exc))
+        if not self.fallback:
+            raise RuntimeError(
+                f"detection failed after {attempts} attempt(s) for "
+                f"{dataset.name!r}: {failures[-1].error}")
+        self.degraded_submissions += 1
+        incr("platform.degraded")
+        result = coarse_fallback_detect(self.enld.model, dataset)
+        return result, attempts - 1, failures, True
+
+    def _journal(self, dataset: LabeledDataset,
+                 report: SubmissionReport) -> None:
+        if self.journal_path is None:
+            return
+        status = ("quarantined" if report.quarantined
+                  else "degraded" if report.degraded else "ok")
+        entry = {
+            "dataset": dataset.name,
+            "status": status,
+            "detector": (report.record.detector
+                         if report.record is not None else None),
+            "retries": report.retries,
+            "failures": [f.to_dict() for f in report.failures],
+            "clean": (len(report.record.clean_ids)
+                      if report.record is not None else 0),
+            "noisy": (len(report.record.noisy_ids)
+                      if report.record is not None else 0),
+            "updated_model": report.updated_model,
+        }
+        append_journal(self.journal_path, entry)
 
     def update_model(self, epochs: Optional[int] = None) -> None:
         """Run the Alg. 4 model update now (also counts it)."""
         self.enld.update_model(epochs=epochs)
         self.model_updates += 1
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: str) -> str:
+        """Atomically write the full platform state under ``directory``.
+
+        Produces ``platform.json`` (catalog + ENLD state + scheduler +
+        counters, every file written temp-then-rename) and
+        ``model.npz`` (general-model weights via
+        :mod:`repro.nn.serialize`).  Returns the state-file path.
+        """
+        os.makedirs(directory, exist_ok=True)
+        state = {
+            "version": _PLATFORM_FORMAT_VERSION,
+            "config": dataclasses.asdict(self.enld.config),
+            "catalog": catalog_state(self.catalog),
+            "enld": self.enld.state_dict(),
+            "scheduler": (scheduler_to_state(self.scheduler)
+                          if self.scheduler is not None else None),
+            "counters": {
+                "model_updates": self.model_updates,
+                "submissions": self.submissions,
+                "degraded_submissions": self.degraded_submissions,
+                "quarantined_submissions": self.quarantined_submissions,
+                "retries_total": self.retries_total,
+            },
+        }
+        # Weights first: if the process dies between the two writes the
+        # old state file still pairs with a complete weights file.
+        save_checkpoint(self.enld.model,
+                        os.path.join(directory, MODEL_WEIGHTS_FILE))
+        path = os.path.join(directory, PLATFORM_STATE_FILE)
+        atomic_write_json(path, state)
+        return path
+
+    @classmethod
+    def resume(cls, directory: str, inventory: LabeledDataset,
+               arrivals: Sequence[LabeledDataset] = (),
+               trace: bool = False,
+               retry: Optional[RetryPolicy] = None,
+               admission: bool = True,
+               fallback: bool = True,
+               fault_plan: Optional[FaultPlan] = None,
+               journal_path: Optional[str] = None
+               ) -> "NoisyLabelPlatform":
+        """Reconstruct a platform from a :meth:`checkpoint` directory.
+
+        ``inventory`` (and any ``arrivals`` whose detection records
+        should be restored) come from the lake — payload arrays are
+        never checkpointed.  The returned platform is state-identical
+        to the one that wrote the checkpoint: same catalog, ``P̃``,
+        inventory split, clean-inventory ids, scheduler counters and
+        model weights, without re-running setup training.
+        """
+        with open(os.path.join(directory, PLATFORM_STATE_FILE)) as fh:
+            state = json.load(fh)
+        if state.get("version") != _PLATFORM_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported platform checkpoint version "
+                f"{state.get('version')!r}")
+        config = ENLDConfig(**state["config"])
+
+        self = cls.__new__(cls)
+        self.catalog = DataLakeCatalog(inventory)
+        for arrival in arrivals:
+            self.catalog.register_arrival(arrival)
+        restore_catalog_state(self.catalog, state["catalog"], strict=False)
+        self.enld = ENLD(config)
+        self.enld.load_state(state["enld"], inventory)
+        load_checkpoint(self.enld.model,
+                        os.path.join(directory, MODEL_WEIGHTS_FILE))
+        self.scheduler = (scheduler_from_state(state["scheduler"])
+                          if state["scheduler"] is not None else None)
+        self.trace_enabled = trace
+        self.retry = retry or RetryPolicy()
+        self.admission = admission
+        self.fallback = fallback
+        self.journal_path = journal_path
+        self._fault_injector = (fault_plan.injector()
+                                if fault_plan is not None else None)
+        self.setup_trace = None
+        self._submission_traces = []
+        counters = state["counters"]
+        self.model_updates = int(counters["model_updates"])
+        self.submissions = int(counters["submissions"])
+        self.degraded_submissions = int(counters["degraded_submissions"])
+        self.quarantined_submissions = int(
+            counters["quarantined_submissions"])
+        self.retries_total = int(counters["retries_total"])
+        return self
 
     # ------------------------------------------------------------------
     def clean_subset(self, dataset_name: str) -> LabeledDataset:
@@ -170,6 +431,9 @@ class NoisyLabelPlatform:
         report["model_updates"] = self.model_updates
         report["setup_seconds"] = self.setup_seconds
         report["clean_inventory_size"] = len(self.catalog.clean_inventory_ids)
+        report["degraded_submissions"] = self.degraded_submissions
+        report["quarantined_submissions"] = self.quarantined_submissions
+        report["retries"] = self.retries_total
         if self.trace_enabled:
             traces = ([self.setup_trace] if self.setup_trace else []) \
                 + self._submission_traces

@@ -1,0 +1,272 @@
+"""Platform resilience: admission control, degradation, fault injection.
+
+A data-lake deployment of ENLD runs for months against an ever-growing
+lake (paper Fig. 1); one malformed arrival or one mid-iteration failure
+must not take the service down.  This module supplies the three
+hardening primitives the :class:`~repro.datalake.platform.NoisyLabelPlatform`
+composes:
+
+- **admission control** — :func:`admission_errors` validates an arrival
+  before any detection work touches it (empty/NaN/inf features, labels
+  outside ``[0, num_classes) ∪ {MISSING_LABEL}``, duplicate ids, name
+  collisions); rejects are quarantined into the catalog with the reason
+  list instead of raising;
+- **graceful degradation** — :class:`RetryPolicy` drives exponential
+  backoff around the fine-grained detector (Alg. 3) with a reseeded
+  RNG per attempt, and :func:`coarse_fallback_detect` provides the
+  model-free last resort: the general-model disagreement decision that
+  also underlies the coarse ambiguity test (Alg. 2 line 1) and the
+  Confident-Learning-style baselines;
+- **deterministic fault injection** — :class:`FaultPlan` /
+  :class:`FaultInjector` hook into the obs-instrumented stage
+  boundaries (:func:`repro.obs.use_span_hook`) so tests and the
+  ``repro chaos`` CLI can prove the above without flaky sleeps: every
+  injection site is keyed by span name and triggered either on the
+  N-th entry or by a seeded coin flip.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.data import LabeledDataset
+from ..nn.models import Classifier
+from ..noise.injector import MISSING_LABEL
+from ..core.detector import DetectionResult
+
+#: Stage (span) names a fault plan may target — the obs-instrumented
+#: boundaries of the submit pipeline.  ``setup`` is deliberately absent:
+#: a platform that cannot even initialise has nothing to degrade to.
+INJECTABLE_STAGES = (
+    "detect", "initial_views", "contrastive_sampling", "warmup",
+    "iteration", "fine_tune", "vote", "recompute_views", "resample",
+    "model_update",
+)
+
+
+class InjectedFault(RuntimeError):
+    """A failure injected by a :class:`FaultPlan` at a stage boundary."""
+
+    def __init__(self, stage: str, occurrence: int):
+        super().__init__(f"injected fault at stage {stage!r} "
+                         f"(occurrence {occurrence})")
+        self.stage = stage
+        self.occurrence = occurrence
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic injection site.
+
+    Parameters
+    ----------
+    stage:
+        Span name to target (see :data:`INJECTABLE_STAGES`).
+    probability:
+        Chance of firing at each entry into the stage, drawn from the
+        plan's seeded RNG (deterministic for a fixed plan seed).
+    on_call:
+        Fire exactly on the ``on_call``-th entry (1-based) instead of
+        probabilistically.  Mutually exclusive with ``probability``.
+    times:
+        Maximum number of injections this rule performs; set to
+        ``max_retries + 1`` to exhaust a platform's retry budget and
+        force the coarse fallback.
+    """
+
+    stage: str
+    probability: float = 0.0
+    on_call: Optional[int] = None
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if self.on_call is not None and self.on_call < 1:
+            raise ValueError(f"on_call is 1-based, got {self.on_call}")
+        if self.on_call is not None and self.probability:
+            raise ValueError("give either on_call or probability, not both")
+        if self.on_call is None and self.probability == 0.0:
+            raise ValueError("rule fires never: set on_call or probability")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+class FaultPlan:
+    """A seeded, reproducible collection of :class:`FaultRule`\\ s.
+
+    The plan itself is immutable configuration; call :meth:`injector`
+    to obtain a fresh stateful :class:`FaultInjector` (counters zeroed,
+    RNG reseeded), so replaying a plan reproduces the same faults.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule], seed: int = 0):
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+
+    def injector(self) -> "FaultInjector":
+        """A fresh injector for this plan (deterministic per plan)."""
+        return FaultInjector(self.rules, seed=self.seed)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+class FaultInjector:
+    """Stateful span hook raising :class:`InjectedFault` per the plan.
+
+    Install with ``use_span_hook(injector)``; every ``trace_span(name)``
+    entry calls the injector, which counts the occurrence and raises
+    when a rule triggers.  ``injected`` records what actually fired,
+    letting tests assert exact counter agreement with the plan.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0):
+        self._rules = list(rules)
+        self._rng = np.random.default_rng(seed)
+        self.calls: Dict[str, int] = {}
+        self.injected: Dict[str, int] = {}
+        self._fired: List[int] = [0] * len(self._rules)
+
+    def __call__(self, stage: str) -> None:
+        count = self.calls.get(stage, 0) + 1
+        self.calls[stage] = count
+        for i, rule in enumerate(self._rules):
+            if rule.stage != stage or self._fired[i] >= rule.times:
+                continue
+            if rule.on_call is not None:
+                fire = count == rule.on_call or (
+                    # Keep firing on consecutive entries until the
+                    # budget is spent, so retries re-hit the fault.
+                    self._fired[i] > 0 and count > rule.on_call)
+            else:
+                fire = bool(self._rng.random() < rule.probability)
+            if fire:
+                self._fired[i] += 1
+                self.injected[stage] = self.injected.get(stage, 0) + 1
+                raise InjectedFault(stage, count)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+def admission_errors(dataset: LabeledDataset, num_classes: int,
+                     existing_names: Iterable[str] = ()) -> List[str]:
+    """Validate an arrival before detection; return rejection reasons.
+
+    An empty list means the arrival is admissible.  Checks are ordered
+    cheap-to-expensive and all of them run, so the quarantine record
+    carries the complete reason list.
+    """
+    errors: List[str] = []
+    if dataset.name in set(existing_names):
+        errors.append(f"name collision: {dataset.name!r} already registered")
+    if len(dataset) == 0:
+        errors.append("empty dataset: no samples to screen")
+        return errors
+    x = np.asarray(dataset.x, dtype=float)
+    if not np.isfinite(x).all():
+        bad = int((~np.isfinite(x).reshape(len(dataset), -1).all(axis=1))
+                  .sum())
+        errors.append(f"non-finite features: {bad} sample(s) contain "
+                      "NaN or inf")
+    y = np.asarray(dataset.y)
+    if not np.issubdtype(y.dtype, np.integer):
+        errors.append(f"non-integer labels: dtype {y.dtype}")
+    else:
+        valid = ((y >= 0) & (y < num_classes)) | (y == MISSING_LABEL)
+        if not valid.all():
+            bad_vals = sorted(set(int(v) for v in y[~valid]))[:5]
+            errors.append(
+                f"labels outside [0, {num_classes}) ∪ {{{MISSING_LABEL}}}: "
+                f"{int((~valid).sum())} sample(s), e.g. {bad_vals}")
+    ids = np.asarray(dataset.ids)
+    if not np.issubdtype(ids.dtype, np.integer):
+        errors.append(f"non-integer ids: dtype {ids.dtype}")
+    elif len(np.unique(ids)) != len(ids):
+        errors.append(
+            f"duplicate ids: {len(ids) - len(np.unique(ids))} repeated")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget for fine-grained detection.
+
+    ``sleep`` is injectable so tests (and the chaos CLI) never block on
+    real backoff waits; attempt ``i`` (0-based) sleeps
+    ``min(backoff_base * 2**i, max_backoff)`` seconds before retrying.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    max_backoff: float = 2.0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.max_backoff < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based retry index)."""
+        return min(self.backoff_base * (2 ** attempt), self.max_backoff)
+
+
+#: Retry policy that never waits — used by tests and ``repro chaos``.
+NO_WAIT_RETRY = RetryPolicy(backoff_base=0.0, sleep=lambda _s: None)
+
+
+def coarse_fallback_detect(model: Classifier,
+                           dataset: LabeledDataset) -> DetectionResult:
+    """Model-free fallback: flag general-model disagreements as noisy.
+
+    This is the coarse decision of the ambiguity test (Alg. 2 line 1)
+    applied directly: a labelled sample is noisy iff
+    ``argmax M(x, θ) ≠ ỹ``.  No fine-tuning, no voting — and therefore
+    no pseudo labels for missing-label rows (``pseudo_labels`` is
+    ``None``) and no stringent inventory votes.
+    """
+    labeled = dataset.y != MISSING_LABEL
+    preds = model.predict(dataset.flat_x())
+    noisy = (preds != dataset.y) & labeled
+    return DetectionResult(
+        clean_mask=labeled & ~noisy,
+        noisy_mask=noisy,
+        inventory_clean_positions=np.empty(0, dtype=int),
+        pseudo_labels=None,
+        detector_name="coarse-fallback",
+    )
+
+
+@dataclass
+class FailureEvent:
+    """One failed detection attempt in a degradation chain."""
+
+    attempt: int
+    stage: Optional[str]
+    error: str
+
+    def to_dict(self) -> dict:
+        return {"attempt": self.attempt, "stage": self.stage,
+                "error": self.error}
+
+
+def describe_failure(attempt: int, exc: BaseException) -> FailureEvent:
+    """Normalise an exception into a journal-ready failure event."""
+    stage = exc.stage if isinstance(exc, InjectedFault) else None
+    return FailureEvent(attempt=attempt, stage=stage,
+                        error=f"{type(exc).__name__}: {exc}")

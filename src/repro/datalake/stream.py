@@ -52,25 +52,30 @@ class ArrivalStream:
         rng = np.random.default_rng(seed)
         self._shards = make_incremental_shards(pool, plan, rng,
                                                num_classes=num_classes)
-        self._noise_rng = np.random.default_rng(seed + 1)
 
     def __len__(self) -> int:
         return len(self._shards)
 
     def __iter__(self) -> Iterator[LabeledDataset]:
-        for shard in self._shards:
-            yield self._corrupt(shard)
+        for index, shard in enumerate(self._shards):
+            yield self._corrupt(shard, index)
 
     def arrivals(self) -> List[LabeledDataset]:
         """All arrivals materialised in order."""
         return list(iter(self))
 
-    def _corrupt(self, shard: LabeledDataset) -> LabeledDataset:
+    def _corrupt(self, shard: LabeledDataset,
+                 index: int) -> LabeledDataset:
+        # A fresh per-shard RNG keyed on (seed, shard index) makes every
+        # iteration of the stream reproduce the same corruption — a
+        # shared generator would be consumed by the first pass and
+        # yield differently-corrupted shards on replay.
+        rng = np.random.default_rng((self.seed, index))
         out = shard
         if self.transition is not None:
-            out = corrupt_labels(out, self.transition, self._noise_rng,
+            out = corrupt_labels(out, self.transition, rng,
                                  name=shard.name)
         if self.missing_fraction > 0:
             out, _ = drop_labels(out, self.missing_fraction,
-                                 self._noise_rng, name=out.name)
+                                 rng, name=out.name)
         return out

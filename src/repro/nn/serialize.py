@@ -7,6 +7,7 @@ they stay dependency-free and portable.
 from __future__ import annotations
 
 import os
+import tempfile
 from typing import Dict
 
 import numpy as np
@@ -17,12 +18,27 @@ _META_KEY = "__repro_checkpoint__"
 
 
 def save_checkpoint(model: Module, path: str) -> None:
-    """Persist the model's parameters and buffers to ``path`` (.npz)."""
+    """Persist the model's parameters and buffers to ``path`` (.npz).
+
+    The write is atomic (temp file in the target directory, then
+    :func:`os.replace`), so a crash mid-save never leaves a torn
+    checkpoint behind — at worst the previous one survives untouched.
+    """
     state = model.state_dict()
     state[_META_KEY] = np.array([1])  # format version marker
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path, **state)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp.npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **state)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def load_checkpoint(model: Module, path: str) -> None:

@@ -11,12 +11,13 @@ from .export import (check_against_baseline, compare_stage_work,
                      flatten_spans, format_summary, load_trace,
                      merge_trace_dicts, refresh_baseline, save_trace)
 from .tracer import (NULL_TRACER, NullTracer, SpanNode, Tracer, add_work,
-                     current_tracer, incr, observe, trace_span, use_tracer)
+                     current_span_hook, current_tracer, incr, observe,
+                     trace_span, use_span_hook, use_tracer)
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "SpanNode",
     "current_tracer", "use_tracer", "trace_span", "add_work", "incr",
-    "observe",
+    "observe", "use_span_hook", "current_span_hook",
     "save_trace", "load_trace", "merge_trace_dicts", "flatten_spans",
     "format_summary", "compare_stage_work", "check_against_baseline",
     "refresh_baseline",

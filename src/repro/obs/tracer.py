@@ -39,7 +39,7 @@ import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 Number = Union[int, float]
 
@@ -293,8 +293,47 @@ def use_tracer(tracer: Optional[Union[Tracer, NullTracer]]):
         _current.reset(token)
 
 
+SpanHook = Callable[[str], None]
+
+_span_hook: ContextVar[Optional[SpanHook]] = ContextVar(
+    "repro_span_hook", default=None)
+
+
+def current_span_hook() -> Optional[SpanHook]:
+    """The ambient span hook, or ``None`` when none is installed."""
+    return _span_hook.get()
+
+
+@contextmanager
+def use_span_hook(hook: Optional[SpanHook]):
+    """Call ``hook(name)`` at every span boundary within the block.
+
+    The hook fires when a span *opens*, before any timing starts, and
+    may raise — which is exactly what the fault-injection harness of
+    :mod:`repro.datalake.resilience` does to simulate a stage failure
+    at a deterministic pipeline location.  ``None`` leaves the current
+    hook in place so wrappers compose like :func:`use_tracer`.
+    """
+    if hook is None:
+        yield _span_hook.get()
+        return
+    token = _span_hook.set(hook)
+    try:
+        yield hook
+    finally:
+        _span_hook.reset(token)
+
+
 def trace_span(name: str):
-    """Open a span named ``name`` on the ambient tracer."""
+    """Open a span named ``name`` on the ambient tracer.
+
+    When a span hook is installed (:func:`use_span_hook`) it is invoked
+    with the span name first; the common case pays one extra
+    context-variable lookup.
+    """
+    hook = _span_hook.get()
+    if hook is not None:
+        hook(name)
     return _current.get().span(name)
 
 

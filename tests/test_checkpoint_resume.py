@@ -1,0 +1,248 @@
+"""Kill-and-resume tests: crash-safe platform checkpointing."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import ENLDConfig
+from repro.core.scheduler import (AnyOf, CleanPoolGrowth,
+                                  DetectionDegradation, EveryNArrivals,
+                                  scheduler_from_state, scheduler_to_state)
+from repro.datalake import (ArrivalStream, NO_WAIT_RETRY, NoisyLabelPlatform,
+                            catalog_state, read_journal)
+from repro.datalake.catalog import DataLakeCatalog, DetectionRecord
+from repro.datalake.persistence import (load_catalog_state, save_catalog)
+from repro.datasets import generate, split_inventory_incremental, toy
+from repro.datasets.splits import ShardPlan
+from repro.nn.data import LabeledDataset
+from repro.noise import corrupt_labels, pair_asymmetric
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = generate(toy(num_classes=6, samples_per_class=80), seed=60)
+    rng = np.random.default_rng(61)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(6, 0.2)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    arrivals = ArrivalStream(pool,
+                             ShardPlan(num_shards=4, classes_per_shard=3),
+                             transition=transition, seed=62).arrivals()
+    config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
+                        init_epochs=10, iterations=2,
+                        steps_per_iteration=3, seed=63)
+    return {"inventory": inventory, "arrivals": arrivals, "config": config}
+
+
+class TestKillAndResume:
+    def test_resume_reconstructs_identical_platform(self, world, tmp_path):
+        scheduler = CleanPoolGrowth(min_clean_samples=10 ** 9)
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"],
+                                      scheduler=scheduler,
+                                      retry=NO_WAIT_RETRY)
+        processed = world["arrivals"][:3]
+        for arrival in processed:
+            platform.submit(arrival)
+        ckpt = str(tmp_path / "ckpt")
+        platform.checkpoint(ckpt)
+
+        # "Kill": throw the object away, rebuild purely from disk + lake.
+        resumed = NoisyLabelPlatform.resume(ckpt, world["inventory"],
+                                            arrivals=processed,
+                                            retry=NO_WAIT_RETRY)
+
+        # Byte-identical catalog state JSON.
+        original_json = json.dumps(catalog_state(platform.catalog),
+                                   sort_keys=True)
+        resumed_json = json.dumps(catalog_state(resumed.catalog),
+                                  sort_keys=True)
+        assert original_json == resumed_json
+
+        assert platform.quality_report() == resumed.quality_report()
+        assert np.array_equal(platform.catalog.clean_inventory_ids,
+                              resumed.catalog.clean_inventory_ids)
+        assert scheduler_to_state(platform.scheduler) == \
+            scheduler_to_state(resumed.scheduler)
+
+        # ENLD internals: P̃, the inventory split and the weights.
+        assert np.array_equal(platform.enld.cond_prob,
+                              resumed.enld.cond_prob)
+        assert np.array_equal(platform.enld.inventory_train.ids,
+                              resumed.enld.inventory_train.ids)
+        assert np.array_equal(platform.enld.inventory_candidates.ids,
+                              resumed.enld.inventory_candidates.ids)
+        orig_weights = platform.enld.model.state_dict()
+        res_weights = resumed.enld.model.state_dict()
+        assert orig_weights.keys() == res_weights.keys()
+        for key in orig_weights:
+            assert np.array_equal(orig_weights[key], res_weights[key])
+
+    def test_resumed_platform_continues_identically(self, world, tmp_path):
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"],
+                                      retry=NO_WAIT_RETRY)
+        for arrival in world["arrivals"][:2]:
+            platform.submit(arrival)
+        ckpt = str(tmp_path / "ckpt")
+        platform.checkpoint(ckpt)
+        resumed = NoisyLabelPlatform.resume(ckpt, world["inventory"],
+                                            arrivals=world["arrivals"][:2],
+                                            retry=NO_WAIT_RETRY)
+
+        # RNG state, weights and P̃ all restored bit-for-bit, so the
+        # next submission must produce the exact same verdicts.
+        nxt = world["arrivals"][2]
+        a = platform.submit(nxt)
+        b = resumed.submit(nxt)
+        assert np.array_equal(a.record.clean_ids, b.record.clean_ids)
+        assert np.array_equal(a.record.noisy_ids, b.record.noisy_ids)
+        assert np.array_equal(a.result.inventory_clean_positions,
+                              b.result.inventory_clean_positions)
+
+    def test_resume_rejects_foreign_inventory(self, world, tmp_path):
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"],
+                                      retry=NO_WAIT_RETRY)
+        ckpt = str(tmp_path / "ckpt")
+        platform.checkpoint(ckpt)
+        other = LabeledDataset(np.zeros((4, world["inventory"].feature_dim)),
+                               np.zeros(4, dtype=int),
+                               ids=np.array([10 ** 9 + i for i in range(4)]),
+                               name="wrong-lake")
+        with pytest.raises(ValueError, match="not.*present|not present"):
+            NoisyLabelPlatform.resume(ckpt, other)
+
+    def test_checkpoint_writes_are_atomic(self, world, tmp_path):
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"],
+                                      retry=NO_WAIT_RETRY)
+        ckpt = str(tmp_path / "ckpt")
+        platform.checkpoint(ckpt)
+        platform.checkpoint(ckpt)  # overwrite must go through os.replace
+        leftovers = [f for f in os.listdir(ckpt) if ".tmp" in f]
+        assert leftovers == []
+        assert sorted(os.listdir(ckpt)) == ["model.npz", "platform.json"]
+
+
+class TestJournal:
+    def test_journal_records_every_submission(self, world, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"],
+                                      retry=NO_WAIT_RETRY,
+                                      journal_path=journal)
+        platform.submit(world["arrivals"][0])
+        bad = LabeledDataset(
+            np.full((2, world["inventory"].feature_dim), np.nan),
+            np.zeros(2, dtype=int), name="bad")
+        platform.submit(bad)
+        entries = read_journal(journal)
+        assert [e["status"] for e in entries] == ["ok", "quarantined"]
+        assert entries[0]["dataset"] == world["arrivals"][0].name
+        assert entries[0]["clean"] + entries[0]["noisy"] \
+            == len(world["arrivals"][0])
+        assert entries[1]["failures"][0]["stage"] == "admission"
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        with open(journal, "w") as fh:
+            fh.write(json.dumps({"dataset": "a", "status": "ok"}) + "\n")
+            fh.write('{"dataset": "b", "stat')  # killed mid-append
+        entries = read_journal(journal)
+        assert len(entries) == 1 and entries[0]["dataset"] == "a"
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        assert read_journal(str(tmp_path / "nope.jsonl")) == []
+
+
+class TestSchedulerState:
+    @pytest.mark.parametrize("scheduler", [
+        EveryNArrivals(3),
+        CleanPoolGrowth(min_clean_samples=5),
+        DetectionDegradation(window=4, tolerance=0.2),
+        AnyOf([EveryNArrivals(2), CleanPoolGrowth(min_clean_samples=9)]),
+    ])
+    def test_roundtrip(self, scheduler):
+        record = scheduler_to_state(scheduler)
+        rebuilt = scheduler_from_state(json.loads(json.dumps(record)))
+        assert scheduler_to_state(rebuilt) == record
+
+    def test_stateful_roundtrip(self):
+        from repro.core.detector import DetectionResult
+
+        scheduler = EveryNArrivals(5)
+        result = DetectionResult(
+            clean_mask=np.ones(3, dtype=bool),
+            noisy_mask=np.zeros(3, dtype=bool),
+            inventory_clean_positions=np.empty(0, dtype=int),
+            pseudo_labels=None)
+        scheduler.observe(result)
+        scheduler.observe(result)
+        rebuilt = scheduler_from_state(scheduler_to_state(scheduler))
+        for _ in range(3):
+            rebuilt.observe(result)
+        assert rebuilt.should_update()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            scheduler_from_state({"type": "Cron", "params": {},
+                                  "state": {}})
+
+
+class TestTransactionalCatalogRestore:
+    def make_state_catalog(self):
+        y = np.repeat(np.arange(3), 10)
+        inventory = LabeledDataset(np.zeros((30, 2)), y, name="inv")
+        catalog = DataLakeCatalog(inventory)
+        for name in ("a0", "a1"):
+            catalog.register_arrival(
+                inventory.subset(np.arange(10), name=name))
+            catalog.record_detection(DetectionRecord(
+                name, clean_ids=np.arange(7), noisy_ids=np.arange(7, 10)))
+        catalog.add_clean_inventory_ids(np.array([2, 5]))
+        return catalog
+
+    def test_strict_failure_leaves_catalog_untouched(self, tmp_path):
+        catalog = self.make_state_catalog()
+        path = str(tmp_path / "catalog.json")
+        save_catalog(catalog, path)
+
+        fresh = DataLakeCatalog(catalog.inventory)
+        # Only a0 registered: strict restore must fail on a1 and leave
+        # the catalog exactly as it was — no partial mutation.
+        fresh.register_arrival(catalog.get_arrival("a0"))
+        with pytest.raises(KeyError, match="a1"):
+            load_catalog_state(fresh, path, strict=True)
+        assert fresh.processed_names == []
+        assert len(fresh.clean_inventory_ids) == 0
+
+    def test_lenient_restores_known_subset(self, tmp_path):
+        catalog = self.make_state_catalog()
+        path = str(tmp_path / "catalog.json")
+        save_catalog(catalog, path)
+        fresh = DataLakeCatalog(catalog.inventory)
+        fresh.register_arrival(catalog.get_arrival("a0"))
+        assert load_catalog_state(fresh, path, strict=False) == 1
+        assert fresh.processed_names == ["a0"]
+
+    def test_save_catalog_is_atomic(self, tmp_path):
+        catalog = self.make_state_catalog()
+        path = str(tmp_path / "catalog.json")
+        save_catalog(catalog, path)
+        save_catalog(catalog, path)
+        assert sorted(os.listdir(tmp_path)) == ["catalog.json"]
+
+    def test_version_1_files_still_load(self, tmp_path):
+        # Pre-quarantine files (version 1) must remain readable.
+        path = str(tmp_path / "v1.json")
+        with open(path, "w") as fh:
+            json.dump({"version": 1,
+                       "records": [],
+                       "clean_inventory_ids": [3, 4]}, fh)
+        catalog = DataLakeCatalog(
+            LabeledDataset(np.zeros((1, 1)), np.zeros(1, dtype=int)))
+        assert load_catalog_state(catalog, path) == 0
+        assert np.array_equal(catalog.clean_inventory_ids, [3, 4])

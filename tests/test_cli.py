@@ -28,6 +28,18 @@ class TestParser:
         assert args.dataset == "toy"
         assert args.noise_rate == 0.2
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.arrivals == 5
+        assert args.fail_stage is None  # resolved to ["iteration"]
+        assert args.times == 1
+        assert args.checkpoint_dir is None
+
+    def test_chaos_repeatable_stage(self):
+        args = build_parser().parse_args(
+            ["chaos", "--fail-stage", "vote", "--fail-stage", "warmup"])
+        assert args.fail_stage == ["vote", "warmup"]
+
 
 class TestCommands:
     def test_list_figures(self, capsys):
@@ -69,6 +81,30 @@ class TestCommands:
             trace = json.load(fh)
         assert "setup" in trace["spans"]
         assert "detect" in trace["spans"]
+
+
+class TestChaosCommand:
+    def test_chaos_unknown_stage(self, capsys):
+        assert main(["chaos", "--fail-stage", "teleport"]) == 2
+        assert "unknown stage" in capsys.readouterr().err
+
+    def test_chaos_run_with_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["chaos", "--arrivals", "3", "--times", "3",
+                     "--fail-stage", "iteration",
+                     "--checkpoint-dir", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        summary = json.loads(out[out.index("{"):])
+        assert summary["statuses"][0] == "degraded"
+        assert summary["statuses"][-1] == "quarantined"
+        assert summary["injected"] == {"iteration": 3}
+        assert summary["resume_ok"] is True
+        journal = json.loads("[%s]" % ",".join(
+            line for line in open(
+                f"{ckpt}/journal.jsonl").read().splitlines()))
+        assert [e["status"] for e in journal] == \
+            ["degraded", "ok", "ok", "quarantined"]
 
 
 class TestTraceCommand:

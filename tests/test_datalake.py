@@ -110,6 +110,19 @@ class TestArrivalStream:
             assert np.array_equal(da.y, db.y)
             assert np.array_equal(da.ids, db.ids)
 
+    def test_same_stream_iterates_identically_twice(self):
+        # One stream object iterated twice must yield identically
+        # corrupted shards — a shared noise RNG would be consumed by
+        # the first pass.
+        t = pair_asymmetric(4, 0.2)
+        stream = ArrivalStream(pool(), self.plan(), transition=t,
+                               missing_fraction=0.1, seed=5)
+        first = stream.arrivals()
+        second = list(iter(stream))
+        for da, db in zip(first, second):
+            assert np.array_equal(da.y, db.y)
+            assert np.array_equal(da.ids, db.ids)
+
     def test_noise_applied_per_shard(self):
         t = pair_asymmetric(4, 0.3)
         stream = ArrivalStream(pool(per_class=100), self.plan(),

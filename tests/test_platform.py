@@ -53,9 +53,19 @@ class TestSubmission:
         if len(noisy):
             assert noisy.noise_rate() > arrival.noise_rate()
 
-    def test_duplicate_submission_rejected(self, world):
+    def test_duplicate_submission_quarantined(self, world):
         platform = NoisyLabelPlatform(world["inventory"],
                                       config=world["config"])
+        platform.submit(world["arrivals"][0])
+        report = platform.submit(world["arrivals"][0])
+        assert report.quarantined
+        assert "name collision" in platform.catalog.get_quarantine(
+            world["arrivals"][0].name).reasons[0]
+
+    def test_duplicate_submission_raises_without_admission(self, world):
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"],
+                                      admission=False)
         platform.submit(world["arrivals"][0])
         with pytest.raises(KeyError):
             platform.submit(world["arrivals"][0])

@@ -1,0 +1,282 @@
+"""Tests for repro.datalake.resilience (admission, degradation, chaos)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ENLDConfig
+from repro.core.missing import missing_label_report
+from repro.core.scheduler import EveryNArrivals
+from repro.datalake import (ArrivalStream, FaultPlan, FaultRule,
+                            InjectedFault, NO_WAIT_RETRY, NoisyLabelPlatform,
+                            RetryPolicy, admission_errors,
+                            coarse_fallback_detect)
+from repro.datasets import generate, split_inventory_incremental, toy
+from repro.datasets.splits import ShardPlan
+from repro.nn.data import LabeledDataset
+from repro.noise import MISSING_LABEL, corrupt_labels, pair_asymmetric
+from repro.obs import use_span_hook
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = generate(toy(num_classes=6, samples_per_class=80), seed=50)
+    rng = np.random.default_rng(51)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(6, 0.2)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    arrivals = ArrivalStream(pool,
+                             ShardPlan(num_shards=5, classes_per_shard=3),
+                             transition=transition, seed=52).arrivals()
+    config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
+                        init_epochs=10, iterations=2,
+                        steps_per_iteration=3, seed=53)
+    return {"inventory": inventory, "arrivals": arrivals, "config": config}
+
+
+def make_platform(world, **kwargs):
+    kwargs.setdefault("retry", NO_WAIT_RETRY)
+    return NoisyLabelPlatform(world["inventory"], config=world["config"],
+                              **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_clean_arrival_passes(self, world):
+        assert admission_errors(world["arrivals"][0], 6) == []
+
+    def test_empty_dataset(self):
+        ds = LabeledDataset(np.zeros((0, 2)), np.zeros(0, dtype=int),
+                            name="empty")
+        assert any("empty" in e for e in admission_errors(ds, 3))
+
+    def test_nan_and_inf_features(self):
+        x = np.zeros((4, 2))
+        x[1, 0] = np.nan
+        x[3, 1] = np.inf
+        ds = LabeledDataset(x, np.zeros(4, dtype=int), name="nan")
+        errors = admission_errors(ds, 3)
+        assert any("non-finite" in e and "2 sample" in e for e in errors)
+
+    def test_label_out_of_range(self):
+        ds = LabeledDataset(np.zeros((3, 2)), np.array([0, 7, -4]),
+                            name="bad-labels")
+        errors = admission_errors(ds, 3)
+        assert any("outside" in e for e in errors)
+
+    def test_missing_label_sentinel_is_admissible(self):
+        ds = LabeledDataset(np.zeros((3, 2)),
+                            np.array([0, MISSING_LABEL, 2]), name="miss")
+        assert admission_errors(ds, 3) == []
+
+    def test_duplicate_ids(self):
+        ds = LabeledDataset(np.zeros((3, 2)), np.zeros(3, dtype=int),
+                            ids=np.array([5, 5, 6]), name="dups")
+        assert any("duplicate ids" in e for e in admission_errors(ds, 3))
+
+    def test_non_integer_labels(self):
+        ds = LabeledDataset(np.zeros((3, 2)), np.zeros(3),  # float labels
+                            name="floaty")
+        assert any("non-integer labels" in e
+                   for e in admission_errors(ds, 3))
+
+    def test_name_collision(self, world):
+        arrival = world["arrivals"][0]
+        errors = admission_errors(arrival, 6,
+                                  existing_names=[arrival.name])
+        assert any("collision" in e for e in errors)
+
+    def test_platform_quarantines_instead_of_raising(self, world):
+        platform = make_platform(world)
+        x = np.full((5, world["inventory"].feature_dim), np.nan)
+        bad = LabeledDataset(x, np.zeros(5, dtype=int), name="poison")
+        report = platform.submit(bad)
+        assert report.quarantined and not report.degraded
+        assert report.result is None and report.record is None
+        q = platform.catalog.get_quarantine("poison")
+        assert q.num_samples == 5
+        assert any("non-finite" in r for r in q.reasons)
+        assert platform.quality_report()["quarantined_submissions"] == 1
+        # The lake never registered the reject.
+        assert "poison" not in platform.catalog.arrival_names
+
+
+# ----------------------------------------------------------------------
+# Fault plan / injector determinism
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="fires never"):
+            FaultRule("detect")
+        with pytest.raises(ValueError, match="not both"):
+            FaultRule("detect", probability=0.5, on_call=1)
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule("detect", on_call=0)
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("detect", probability=1.5)
+
+    def test_on_call_triggers_nth_entry(self):
+        injector = FaultPlan([FaultRule("vote", on_call=3)]).injector()
+        injector("vote")
+        injector("vote")
+        with pytest.raises(InjectedFault) as exc:
+            injector("vote")
+        assert exc.value.stage == "vote"
+        assert injector.injected == {"vote": 1}
+
+    def test_times_budget_consecutive(self):
+        injector = FaultPlan(
+            [FaultRule("detect", on_call=1, times=2)]).injector()
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector("detect")
+        injector("detect")  # budget spent: passes
+        assert injector.injected == {"detect": 2}
+
+    def test_probability_rules_replay_identically(self):
+        plan = FaultPlan([FaultRule("fine_tune", probability=0.3,
+                                    times=10 ** 9)], seed=7)
+
+        def run(injector):
+            fired = []
+            for i in range(200):
+                try:
+                    injector("fine_tune")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        a, b = run(plan.injector()), run(plan.injector())
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_span_hook_integration(self):
+        from repro.obs import trace_span
+
+        plan = FaultPlan([FaultRule("stage_x", on_call=1)])
+        with use_span_hook(plan.injector()):
+            with trace_span("other"):
+                pass
+            with pytest.raises(InjectedFault):
+                with trace_span("stage_x"):
+                    pass
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_retry_then_success(self, world):
+        plan = FaultPlan([FaultRule("detect", on_call=1)])
+        platform = make_platform(world, fault_plan=plan, trace=True)
+        report = platform.submit(world["arrivals"][0])
+        assert not report.degraded and not report.quarantined
+        assert report.retries == 1
+        assert len(report.failures) == 1
+        assert report.failures[0].stage == "detect"
+        assert report.trace["counters"]["platform.retries"] == 1
+        assert "platform.degraded" not in report.trace["counters"]
+
+    def test_exhausted_retries_fall_back_to_coarse(self, world):
+        # times = max_retries + 1 exhausts the whole attempt budget.
+        plan = FaultPlan([FaultRule("iteration", on_call=1, times=3)])
+        platform = make_platform(world, fault_plan=plan, trace=True)
+        report = platform.submit(world["arrivals"][0])
+        assert report.degraded and not report.quarantined
+        assert report.retries == 2
+        assert [f.stage for f in report.failures] == ["iteration"] * 3
+        assert report.record.detector == "coarse-fallback"
+        assert report.result.pseudo_labels is None
+        assert report.trace["counters"]["platform.degraded"] == 1
+        # Degraded submissions still land in the catalog.
+        assert world["arrivals"][0].name in platform.catalog.processed_names
+        assert platform.quality_report()["degraded_submissions"] == 1
+
+    def test_fallback_disabled_raises(self, world):
+        plan = FaultPlan([FaultRule("detect", on_call=1, times=2)])
+        platform = make_platform(
+            world, fault_plan=plan, fallback=False,
+            retry=RetryPolicy(max_retries=1, backoff_base=0.0,
+                              sleep=lambda _s: None))
+        with pytest.raises(RuntimeError, match="after 2 attempt"):
+            platform.submit(world["arrivals"][0])
+
+    def test_coarse_fallback_partitions_labeled_rows(self, world):
+        platform = make_platform(world)
+        arrival = world["arrivals"][0]
+        result = coarse_fallback_detect(platform.enld.model, arrival)
+        labeled = arrival.y != MISSING_LABEL
+        assert (result.clean_mask | result.noisy_mask == labeled).all()
+        assert result.detector_name == "coarse-fallback"
+        assert len(result.inventory_clean_positions) == 0
+
+    def test_missing_report_guards_fallback_result(self, world):
+        platform = make_platform(world)
+        arrival = world["arrivals"][0]
+        result = coarse_fallback_detect(platform.enld.model, arrival)
+        with pytest.raises(ValueError, match="don't vote"):
+            missing_label_report(result, arrival)
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_retries=4, backoff_base=0.1,
+                             max_backoff=0.3)
+        assert policy.backoff_seconds(0) == pytest.approx(0.1)
+        assert policy.backoff_seconds(1) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.3)  # capped
+
+    def test_model_update_fault_does_not_fail_submission(self, world):
+        plan = FaultPlan([FaultRule("model_update", on_call=1)])
+        platform = make_platform(world, fault_plan=plan,
+                                 scheduler=EveryNArrivals(1), trace=True)
+        report = platform.submit(world["arrivals"][0])
+        assert not report.quarantined
+        if len(platform.catalog.clean_inventory_ids):
+            # Update fired and was injected: submission survives,
+            # model not updated, scheduler stays armed.
+            assert not report.updated_model
+            assert platform.model_updates == 0
+            assert any(f.stage == "model_update" for f in report.failures)
+            assert report.trace["counters"]["platform.update_failures"] == 1
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: every non-setup stage faulted across a
+# 5-arrival toy stream; everything completes, counters match the plan.
+# ----------------------------------------------------------------------
+class TestChaosAcceptance:
+    def test_five_arrival_chaos_run(self, world):
+        # Nine detection stages in first-entry order; probability-1
+        # single-shot rules fire one per attempt, so arrivals 1-3 each
+        # exhaust their 3 attempts (3 stages × 3 arrivals) and degrade,
+        # arrivals 4-5 run clean.
+        stages = ["detect", "initial_views", "contrastive_sampling",
+                  "warmup", "iteration", "fine_tune", "vote",
+                  "recompute_views", "resample"]
+        plan = FaultPlan([FaultRule(s, probability=1.0) for s in stages])
+        platform = make_platform(world, fault_plan=plan, trace=True)
+
+        reports = [platform.submit(a) for a in world["arrivals"][:5]]
+        x = np.full((3, world["inventory"].feature_dim), np.inf)
+        bad = LabeledDataset(x, np.zeros(3, dtype=int), name="corrupt")
+        reports.append(platform.submit(bad))
+
+        assert [r.degraded for r in reports] == [True] * 3 + [False] * 3
+        assert [r.quarantined for r in reports] == [False] * 5 + [True]
+        assert [r.retries for r in reports] == [2, 2, 2, 0, 0, 0]
+
+        injected = platform._fault_injector.injected
+        assert injected == {s: 1 for s in stages}
+
+        merged = platform.quality_report()["trace"]["counters"]
+        assert merged["platform.retries"] == 6
+        assert merged["platform.degraded"] == 3
+        assert merged["platform.quarantined"] == 1
+        assert merged["platform.submissions"] == 5
+
+        report = platform.quality_report()
+        assert report["datasets_processed"] == 5
+        assert report["datasets_quarantined"] == 1
+        assert report["degraded_submissions"] == 3
+        assert report["retries"] == 6
