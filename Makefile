@@ -2,7 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples lint trace-smoke chaos-smoke clean
+.PHONY: install test bench report examples lint analyze typecheck \
+	trace-smoke chaos-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +32,22 @@ lint:
 		$(PYTHON) -m ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+
+# The repo's own AST invariant checker (RNG / atomic-write / tracer /
+# wall-clock / API-hygiene discipline).  Always available: it only
+# needs the stdlib ast module.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro lint src
+
+# Strict typing gate on the typed core (repro.obs, repro.datalake,
+# repro.core; scope configured in pyproject.toml).  Skips politely
+# when mypy is not installed.
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --config-file pyproject.toml; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
 	fi
 
 trace-smoke:

@@ -16,7 +16,8 @@ from repro import ArrivalStream, ENLD, ENLDConfig
 from repro.datasets import (generate, paper_shard_plan,
                             split_inventory_incremental, toy)
 from repro.eval import score_detection
-from repro.nn import Classifier, LayerNorm, Linear, Sequential, Tanh
+from repro.nn import (Classifier, LayerNorm, Linear, Sequential, Tanh,
+                      resolve_rng)
 from repro.nn.models import register_model
 from repro.nn.tensor import Tensor
 from repro.noise import corrupt_labels, pair_asymmetric
@@ -27,7 +28,7 @@ class GatedMLP(Classifier):
 
     def __init__(self, in_features: int, num_classes: int,
                  hidden: int = 64, rng=None):
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         super().__init__(hidden, num_classes, rng=rng)
         self.trunk = Sequential(
             Linear(in_features, hidden, rng=rng), Tanh(),

@@ -1,0 +1,34 @@
+"""``repro.analysis`` — the repo's own static invariant checker.
+
+PR 2 made *byte-identical checkpoint/resume with identical verdicts*
+the platform's headline guarantee.  That guarantee only holds while
+every module keeps three disciplines: seeded Generators threaded as
+parameters (never global RNG state), state files written through the
+atomic persistence helpers, and stage boundaries visible to the
+tracer.  This package encodes those disciplines — plus wall-clock and
+API hygiene — as AST rules (:mod:`repro.analysis.rules`), scoped by
+the invariant manifest in :mod:`repro.analysis.config`, and runs them
+via ``repro lint`` / :func:`analyze_paths`.
+
+Suppression channels, in order of preference: fix the finding; silence
+one line with ``# repro: noqa[REP101]``; or grandfather it in the
+checked-in baseline (:mod:`repro.analysis.baseline`), which only ever
+shrinks after the initial sweep.
+"""
+
+from .baseline import (DEFAULT_BASELINE_PATH, load_baseline,
+                       write_baseline)
+from .config import DEFAULT_CONFIG, AnalysisConfig
+from .engine import analyze_paths, analyze_source, module_key
+from .findings import AnalysisResult, Finding, Severity
+from .report import render_json, render_sarif, render_text
+from .rules import RULES, Rule, all_rules
+
+__all__ = [
+    "AnalysisConfig", "DEFAULT_CONFIG",
+    "AnalysisResult", "Finding", "Severity",
+    "analyze_paths", "analyze_source", "module_key",
+    "RULES", "Rule", "all_rules",
+    "load_baseline", "write_baseline", "DEFAULT_BASELINE_PATH",
+    "render_text", "render_json", "render_sarif",
+]

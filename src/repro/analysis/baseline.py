@@ -1,0 +1,62 @@
+"""Baseline file support: grandfather known findings, never new ones.
+
+The baseline is a checked-in JSON map of finding fingerprints (see
+:attr:`repro.analysis.findings.Finding.fingerprint`) to a short
+human-readable record.  A finding whose fingerprint appears in the
+baseline is reported as *baselined* and does not fail the run; a
+baseline entry no match produces goes **stale** and is listed so it
+can be pruned.  ``repro lint --write-baseline`` regenerates the file
+from the current findings — the policy is that the baseline only ever
+shrinks after the initial sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default location, relative to the invocation directory.
+DEFAULT_BASELINE_PATH = "analysis-baseline.json"
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, object]]:
+    """Fingerprint -> record map; a missing file reads as empty."""
+    if not os.path.exists(path):
+        return {}
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}")
+    findings = payload.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"malformed baseline file {path}")
+    return findings
+
+
+def write_baseline(path: str, findings: List[Finding]) -> int:
+    """Write every (active or baselined) finding as the new baseline.
+
+    noqa-suppressed findings are excluded — they are already silenced
+    in-source.  Returns the number of entries written.
+    """
+    entries = {
+        f.fingerprint: {
+            "rule": f.rule,
+            "path": f.key,
+            "line": f.line,
+            "message": f.message,
+        }
+        for f in findings if f.suppressed in (None, "baseline")
+    }
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)

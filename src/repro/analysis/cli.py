@@ -1,0 +1,92 @@
+"""``repro lint``: the analysis engine as a CLI subcommand.
+
+Exit codes: 0 clean (after suppressions), 1 violations, 2 bad usage
+or an unreadable baseline.  ``make analyze`` and the CI ``analysis``
+job run ``repro lint src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from .baseline import (DEFAULT_BASELINE_PATH, load_baseline,
+                       write_baseline)
+from .engine import analyze_paths
+from .report import render_json, render_sarif, render_text
+from .rules import RULES
+
+
+def add_parser(sub: "argparse._SubParsersAction") -> None:
+    """Register the ``lint`` subcommand on the repro CLI."""
+    p = sub.add_parser(
+        "lint",
+        help="run the repo's static invariant checks (repro.analysis)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files/directories to scan (default: src)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text", help="output format")
+    p.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
+                   help="baseline file of grandfathered findings "
+                        f"(default: {DEFAULT_BASELINE_PATH})")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline file entirely")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="rewrite the baseline from current findings "
+                        "and exit 0")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also fail the run")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="include noqa/baselined findings in text "
+                        "output")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(fn=cmd_lint)
+
+
+def _print_rules() -> None:
+    for rule_id, cls in sorted(RULES.items()):
+        print(f"{rule_id}  {cls.severity.value:7s}  {cls.title}")
+        print(f"        {cls.description}")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the analysis and render the requested report."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        baseline = ({} if args.no_baseline
+                    else load_baseline(args.baseline))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = analyze_paths(args.paths, baseline=baseline)
+    if args.write_baseline:
+        count = write_baseline(args.baseline, result.findings)
+        print(f"wrote {count} finding(s) to {args.baseline}")
+        return 0
+    if args.format == "json":
+        print(json.dumps(render_json(result), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(result), indent=2))
+    else:
+        print(render_text(result,
+                          show_suppressed=args.show_suppressed))
+    return result.exit_code(strict=args.strict)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(prog="repro-lint")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_parser(sub)
+    args = parser.parse_args(["lint", *(argv if argv is not None
+                                        else sys.argv[1:])])
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

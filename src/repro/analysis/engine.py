@@ -1,0 +1,162 @@
+"""Analysis driver: walk files, run rules, apply suppressions.
+
+The engine is what ``repro lint`` executes: it collects ``.py`` files,
+parses each once, runs every registered rule over the module context,
+then filters the raw findings through the two suppression channels —
+
+- **inline**: ``# repro: noqa[REP101]`` (or a blanket ``# repro:
+  noqa``) on the flagged physical line;
+- **baseline**: fingerprints recorded in the checked-in baseline file
+  (see :mod:`repro.analysis.baseline`).
+
+Suppressed findings stay in the result (marked with *how* they were
+silenced) so reports can show them; only *active* findings affect the
+exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .config import DEFAULT_CONFIG, AnalysisConfig
+from .findings import AnalysisResult, Finding, Severity
+from .rules import ModuleContext, all_rules
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules",
+              "build", "dist"}
+
+
+def module_key(path: str) -> str:
+    """Path from the last ``repro`` component down, posix-joined.
+
+    ``src/repro/datalake/stream.py`` and
+    ``/tmp/fixtures/repro/datalake/stream.py`` both key as
+    ``repro/datalake/stream.py``, which is what rule scoping and
+    baseline fingerprints are expressed in.  Files outside a ``repro``
+    tree key as their bare filename.
+    """
+    parts = PurePosixPath(path.replace(os.sep, "/")).parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        return "/".join(parts[idx:])
+    return parts[-1] if parts else path
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths``, sorted, skipping caches."""
+    seen: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                seen.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in _SKIP_DIRS
+                                 and not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    seen.append(os.path.join(dirpath, name))
+    yield from sorted(dict.fromkeys(seen))
+
+
+def _noqa_rules(line: str) -> Optional[frozenset]:
+    """Rules silenced on this line; empty frozenset means *all*."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+def analyze_source(source: str, path: str,
+                   config: Optional[AnalysisConfig] = None,
+                   ) -> List[Finding]:
+    """Run every rule over one module's source text."""
+    config = config or DEFAULT_CONFIG
+    key = module_key(path)
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="REP001", severity=Severity.ERROR, path=path, key=key,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+            source_line=(lines[exc.lineno - 1]
+                         if exc.lineno and exc.lineno <= len(lines)
+                         else ""))]
+    ctx = ModuleContext(path, key, tree, lines, config)
+    findings: List[Finding] = []
+    for rule in all_rules():
+        for line, col, message in rule.check(ctx):
+            text = lines[line - 1] if 0 < line <= len(lines) else ""
+            findings.append(Finding(
+                rule=rule.id, severity=rule.severity, path=path,
+                key=key, line=line, col=col, message=message,
+                source_line=text))
+    _assign_occurrences(findings)
+    _apply_noqa(findings, lines)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _assign_occurrences(findings: List[Finding]) -> None:
+    """Disambiguate identical (rule, key, line-text) fingerprints."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for finding in sorted(findings,
+                          key=lambda f: (f.line, f.col, f.rule)):
+        ident = (finding.rule, finding.key,
+                 finding.source_line.strip())
+        finding.occurrence = counts.get(ident, 0)
+        counts[ident] = finding.occurrence + 1
+
+
+def _apply_noqa(findings: List[Finding], lines: List[str]) -> None:
+    for finding in findings:
+        if not (0 < finding.line <= len(lines)):
+            continue
+        silenced = _noqa_rules(lines[finding.line - 1])
+        if silenced is None:
+            continue
+        if not silenced or finding.rule in silenced:
+            finding.suppressed = "noqa"
+
+
+def analyze_paths(paths: Iterable[str],
+                  config: Optional[AnalysisConfig] = None,
+                  baseline: Optional[Dict[str, Dict[str, object]]] = None,
+                  ) -> AnalysisResult:
+    """Analyze every python file under ``paths``.
+
+    ``baseline`` is the fingerprint map from
+    :func:`repro.analysis.baseline.load_baseline`; matched findings
+    are marked suppressed, unmatched entries are reported stale.
+    """
+    config = config or DEFAULT_CONFIG
+    baseline = baseline or {}
+    result = AnalysisResult()
+    matched: set = set()
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        findings = analyze_source(source, path, config)
+        for finding in findings:
+            if (finding.suppressed is None
+                    and finding.fingerprint in baseline):
+                finding.suppressed = "baseline"
+                matched.add(finding.fingerprint)
+        result.findings.extend(findings)
+        result.files_scanned += 1
+    result.stale_baseline = sorted(set(baseline) - matched)
+    return result

@@ -1,0 +1,105 @@
+"""Finding model for the repo's static-analysis pass.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* identifies the finding across reformatting-free edits:
+it hashes the rule id, the module key (the path from the ``repro``
+package root down, so checkouts at different prefixes agree) and the
+stripped source line text, plus an occurrence index to disambiguate
+identical lines.  Line *numbers* are deliberately excluded — inserting
+a docstring above a grandfathered finding must not invalidate the
+baseline entry that suppresses it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class Severity(str, Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the run; ``WARNING`` findings are reported
+    but only fail under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: How a reported-but-inactive finding was silenced.
+SUPPRESSED_NOQA = "noqa"
+SUPPRESSED_BASELINE = "baseline"
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str          #: path as given to the engine (for display)
+    key: str           #: module key, e.g. ``repro/datalake/stream.py``
+    line: int          #: 1-based line number
+    col: int           #: 0-based column
+    message: str
+    source_line: str = ""
+    suppressed: Optional[str] = None   #: None, "noqa" or "baseline"
+    occurrence: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        payload = "|".join((self.rule, self.key,
+                            self.source_line.strip(),
+                            str(self.occurrence)))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+        }
+
+    def format(self) -> str:
+        """``path:line:col: RULE severity message`` display form."""
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} {self.severity.value} {self.message}")
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    stale_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that were not suppressed by noqa or baseline."""
+        return [f for f in self.findings if f.suppressed is None]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.active if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.active if f.severity is Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 when errors (or warnings under strict)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0

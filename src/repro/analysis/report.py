@@ -1,0 +1,92 @@
+"""Render an :class:`AnalysisResult` as text, JSON or SARIF."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .findings import AnalysisResult, Finding, Severity
+from .rules import RULES
+
+SARIF_VERSION = "2.1.0"
+_TOOL_NAME = "repro-lint"
+
+
+def render_text(result: AnalysisResult,
+                show_suppressed: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    out: List[str] = []
+    for finding in result.findings:
+        if finding.suppressed is None:
+            out.append(finding.format())
+        elif show_suppressed:
+            out.append(f"{finding.format()} "
+                       f"[suppressed: {finding.suppressed}]")
+    baselined = sum(1 for f in result.findings
+                    if f.suppressed == "baseline")
+    noqa = sum(1 for f in result.findings if f.suppressed == "noqa")
+    out.append(
+        f"{result.files_scanned} files scanned: "
+        f"{len(result.errors)} error(s), "
+        f"{len(result.warnings)} warning(s), "
+        f"{noqa} noqa-suppressed, {baselined} baselined")
+    for fingerprint in result.stale_baseline:
+        out.append(f"stale baseline entry: {fingerprint} "
+                   f"(run with --write-baseline to prune)")
+    return "\n".join(out)
+
+
+def render_json(result: AnalysisResult) -> Dict[str, object]:
+    """JSON-ready dict mirroring the full result."""
+    return {
+        "files_scanned": result.files_scanned,
+        "errors": len(result.errors),
+        "warnings": len(result.warnings),
+        "findings": [f.to_dict() for f in result.findings],
+        "stale_baseline": list(result.stale_baseline),
+    }
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _sarif_result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": _sarif_level(finding.severity),
+        "message": {"text": finding.message},
+        "partialFingerprints": {
+            "reproLint/v1": finding.fingerprint,
+        },
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col + 1},
+            },
+        }],
+    }
+
+
+def render_sarif(result: AnalysisResult) -> Dict[str, object]:
+    """SARIF 2.1.0 log of the *active* findings.
+
+    Suppressed findings are omitted — SARIF consumers (code-scanning
+    UIs) should only see what currently fails the gate.
+    """
+    rules = [{
+        "id": rule_id,
+        "name": cls.title,
+        "shortDescription": {"text": cls.title},
+        "fullDescription": {"text": cls.description},
+        "defaultConfiguration": {"level": _sarif_level(cls.severity)},
+    } for rule_id, cls in sorted(RULES.items())]
+    return {
+        "$schema": ("https://json.schemastore.org/sarif-"
+                    f"{SARIF_VERSION}.json"),
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {"name": _TOOL_NAME, "rules": rules}},
+            "results": [_sarif_result(f) for f in result.active],
+        }],
+    }

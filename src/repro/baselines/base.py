@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -10,7 +9,7 @@ import numpy as np
 from ..core.detector import DetectionResult
 from ..nn.data import LabeledDataset
 from ..noise.injector import MISSING_LABEL
-from ..obs import trace_span
+from ..obs import Stopwatch, trace_span
 
 
 class NoisyLabelDetector(ABC):
@@ -29,10 +28,10 @@ class NoisyLabelDetector(ABC):
 
     def detect(self, dataset: LabeledDataset) -> DetectionResult:
         """Detect noisy labels; returns a timed :class:`DetectionResult`."""
-        start = time.perf_counter()
-        with trace_span("detect"), trace_span(self.name):
+        watch = Stopwatch()
+        with watch, trace_span("detect"), trace_span(self.name):
             result = self._detect(dataset)
-        result.process_seconds = time.perf_counter() - start
+        result.process_seconds = watch.seconds
         result.detector_name = self.name
         return result
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro trace -o trace.json
     python -m repro trace --baseline benchmarks/baselines/trace_smoke.json
     python -m repro chaos --fail-stage iteration --fail-stage vote
+    python -m repro lint src --format sarif
 
 ``run`` executes one of the paper's figure/table drivers and prints the
 paper-style table; ``demo`` runs a minimal end-to-end detection;
@@ -421,6 +422,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint here and verify a resume "
                               "round-trip (also enables the journal)")
     p_chaos.set_defaults(fn=cmd_chaos, fail_stage=None)
+
+    from .analysis.cli import add_parser as add_lint_parser
+    add_lint_parser(sub)
     return parser
 
 

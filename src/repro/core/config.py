@@ -16,7 +16,7 @@ The ablation flags map one-to-one onto the paper's Fig. 14 variants:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,7 @@ class ENLDConfig:
         """Votes needed for clean selection: ``⌊s/2⌋ + 1`` (§IV-E)."""
         return self.steps_per_iteration // 2 + 1
 
-    def with_overrides(self, **kwargs) -> "ENLDConfig":
+    def with_overrides(self, **kwargs: Any) -> "ENLDConfig":
         """Copy of this config with the given fields replaced."""
         return replace(self, **kwargs)
 
@@ -93,5 +93,5 @@ class ENLDConfig:
             overrides = variants[variant.lower()]
         except KeyError:
             raise KeyError(f"unknown ablation {variant!r}; "
-                           f"available: {sorted(variants)}")
+                           f"available: {sorted(variants)}") from None
         return self.with_overrides(**overrides)

@@ -86,7 +86,7 @@ class FineGrainedDetector:
     """Algorithm 3 runner bound to a config and sampling policy."""
 
     def __init__(self, config: ENLDConfig,
-                 policy: Optional[SamplingPolicy] = None):
+                 policy: Optional[SamplingPolicy] = None) -> None:
         self.config = config
         if policy is not None:
             self.policy = policy

@@ -19,15 +19,14 @@ Typical usage::
 
 from __future__ import annotations
 
-import time
-from typing import List, Optional
+from typing import List, Optional, Set
 
 import numpy as np
 
 from ..nn.data import LabeledDataset, train_test_split
 from ..nn.models import Classifier, build_model
 from ..nn.train import fit
-from ..obs import trace_span, use_tracer
+from ..obs import Stopwatch, Tracer, trace_span, use_tracer
 from .config import ENLDConfig
 from .detector import DetectionResult, FineGrainedDetector
 from .probability import estimate_conditional
@@ -41,7 +40,8 @@ class NotInitializedError(RuntimeError):
 class ENLD:
     """Efficient Noisy Label Detection for incremental datasets."""
 
-    def __init__(self, config: Optional[ENLDConfig] = None, tracer=None):
+    def __init__(self, config: Optional[ENLDConfig] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.config = config or ENLDConfig()
         # Optional repro.obs.Tracer; None defers to the ambient tracer
         # (a no-op unless the caller activated one via use_tracer).
@@ -54,7 +54,7 @@ class ENLD:
         self.setup_seconds: float = 0.0
         self.setup_train_samples: int = 0
         self.results: List[DetectionResult] = []
-        self._clean_candidate_positions: set = set()
+        self._clean_candidate_positions: Set[int] = set()
         self._rng = np.random.default_rng(self.config.seed)
         self._detector = FineGrainedDetector(self.config)
 
@@ -67,9 +67,9 @@ class ENLD:
 
         Returns ``self`` for chaining.
         """
-        start = time.perf_counter()
+        watch = Stopwatch()
         cfg = self.config
-        with use_tracer(self.tracer), trace_span("setup"):
+        with watch, use_tracer(self.tracer), trace_span("setup"):
             self.num_classes = num_classes or inventory.num_classes
             candidates, train = train_test_split(
                 inventory, test_fraction=cfg.inventory_train_fraction,
@@ -96,7 +96,7 @@ class ENLD:
                 self.cond_prob = estimate_conditional(
                     self.model, self.inventory_candidates,
                     num_classes=self.num_classes)
-        self.setup_seconds = time.perf_counter() - start
+        self.setup_seconds = watch.seconds
         return self
 
     # ------------------------------------------------------------------
@@ -105,12 +105,12 @@ class ENLD:
     def detect(self, dataset: LabeledDataset) -> DetectionResult:
         """Detect noisy labels in an arriving incremental dataset."""
         self._require_initialized()
-        start = time.perf_counter()
-        with use_tracer(self.tracer), trace_span("detect"):
+        watch = Stopwatch()
+        with watch, use_tracer(self.tracer), trace_span("detect"):
             result = self._detector.detect(
                 self.model, dataset, self.inventory_candidates,
                 self.cond_prob, self._rng)
-        result.process_seconds = time.perf_counter() - start
+        result.process_seconds = watch.seconds
         self._clean_candidate_positions.update(
             int(p) for p in result.inventory_clean_positions)
         self.results.append(result)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -80,7 +80,7 @@ class ContrastivePolicy(SamplingPolicy):
 
     name = "contrastive"
 
-    def __init__(self, use_probability_label: bool = True):
+    def __init__(self, use_probability_label: bool = True) -> None:
         self.use_probability_label = use_probability_label
 
     def select(self, request: SamplingRequest) -> PolicySelection:
@@ -178,11 +178,11 @@ def available_policies() -> List[str]:
     return sorted(_POLICIES)
 
 
-def build_policy(name: str, **kwargs) -> SamplingPolicy:
+def build_policy(name: str, **kwargs: Any) -> SamplingPolicy:
     """Instantiate a policy by registry name."""
     try:
         factory = _POLICIES[name]
     except KeyError:
         raise KeyError(f"unknown policy {name!r}; "
-                       f"available: {available_policies()}")
+                       f"available: {available_policies()}") from None
     return factory(**kwargs)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn.data import LabeledDataset
+from ..nn.models import Classifier
 from ..noise.injector import MISSING_LABEL
 
 
@@ -46,7 +47,7 @@ class ModelView:
         return len(self.probs)
 
 
-def compute_view(model, dataset: LabeledDataset,
+def compute_view(model: Classifier, dataset: LabeledDataset,
                  batch_size: int = 256) -> ModelView:
     """Evaluate ``M`` and ``M̂`` for every sample of ``dataset``."""
     x = dataset.flat_x()

@@ -54,7 +54,7 @@ class UpdateScheduler(ABC):
 class EveryNArrivals(UpdateScheduler):
     """Fixed cadence: update after every ``n`` processed arrivals."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         self.n = n
@@ -86,7 +86,7 @@ class CleanPoolGrowth(UpdateScheduler):
     contributes; duplicates across arrivals are counted once.
     """
 
-    def __init__(self, min_clean_samples: int):
+    def __init__(self, min_clean_samples: int) -> None:
         if min_clean_samples < 1:
             raise ValueError("min_clean_samples must be >= 1")
         self.min_clean_samples = min_clean_samples
@@ -121,7 +121,7 @@ class DetectionDegradation(UpdateScheduler):
     longer matches the arriving data distribution.
     """
 
-    def __init__(self, window: int = 5, tolerance: float = 0.15):
+    def __init__(self, window: int = 5, tolerance: float = 0.15) -> None:
         if window < 2:
             raise ValueError("window must be >= 2")
         if tolerance <= 0:
@@ -162,7 +162,7 @@ class DetectionDegradation(UpdateScheduler):
 class AnyOf(UpdateScheduler):
     """Composite: update when any member scheduler says so."""
 
-    def __init__(self, schedulers: Iterable[UpdateScheduler]):
+    def __init__(self, schedulers: Iterable[UpdateScheduler]) -> None:
         self.schedulers: List[UpdateScheduler] = list(schedulers)
         if not self.schedulers:
             raise ValueError("AnyOf needs at least one scheduler")

@@ -54,7 +54,7 @@ class DetectionRecord:
 class DataLakeCatalog:
     """Mutable platform state for incremental noisy-label detection."""
 
-    def __init__(self, inventory: LabeledDataset):
+    def __init__(self, inventory: LabeledDataset) -> None:
         self.inventory = inventory
         self._arrivals: Dict[str, LabeledDataset] = {}
         self._records: Dict[str, DetectionRecord] = {}
@@ -74,7 +74,7 @@ class DataLakeCatalog:
             return self._arrivals[name]
         except KeyError:
             raise KeyError(f"no arrival named {name!r}; "
-                           f"known: {sorted(self._arrivals)}")
+                           f"known: {sorted(self._arrivals)}") from None
 
     @property
     def arrival_names(self) -> List[str]:
@@ -92,7 +92,7 @@ class DataLakeCatalog:
         try:
             return self._records[name]
         except KeyError:
-            raise KeyError(f"no detection recorded for {name!r}")
+            raise KeyError(f"no detection recorded for {name!r}") from None
 
     @property
     def processed_names(self) -> List[str]:
@@ -112,7 +112,7 @@ class DataLakeCatalog:
             return self._quarantine[name]
         except KeyError:
             raise KeyError(f"no quarantined arrival named {name!r}; "
-                           f"known: {sorted(self._quarantine)}")
+                           f"known: {sorted(self._quarantine)}") from None
 
     @property
     def quarantined_names(self) -> List[str]:

@@ -43,7 +43,7 @@ import dataclasses
 import json
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,7 +54,8 @@ from ..core.scheduler import (UpdateScheduler, scheduler_from_state,
                               scheduler_to_state)
 from ..nn.data import LabeledDataset
 from ..nn.serialize import load_checkpoint, save_checkpoint
-from ..obs import Tracer, incr, merge_trace_dicts, use_span_hook, use_tracer
+from ..obs import (Tracer, incr, merge_trace_dicts, trace_span,
+                   use_span_hook, use_tracer)
 from .catalog import DataLakeCatalog, DetectionRecord, QuarantineRecord
 from .persistence import (MODEL_WEIGHTS_FILE, PLATFORM_STATE_FILE,
                           append_journal, atomic_write_json, catalog_state,
@@ -143,7 +144,7 @@ class NoisyLabelPlatform:
                  admission: bool = True,
                  fallback: bool = True,
                  fault_plan: Optional[FaultPlan] = None,
-                 journal_path: Optional[str] = None):
+                 journal_path: Optional[str] = None) -> None:
         self.catalog = DataLakeCatalog(inventory)
         self.enld = ENLD(config)
         self.scheduler = scheduler
@@ -250,7 +251,9 @@ class NoisyLabelPlatform:
                                 updated_model=updated, degraded=degraded,
                                 retries=retries, failures=failures)
 
-    def _detect_resilient(self, dataset: LabeledDataset):
+    def _detect_resilient(
+        self, dataset: LabeledDataset,
+    ) -> Tuple[DetectionResult, int, List[FailureEvent], bool]:
         """Detection with retry + reseed, then the coarse fallback.
 
         Returns ``(result, retries, failures, degraded)``.  Faults from
@@ -321,29 +324,32 @@ class NoisyLabelPlatform:
         ``model.npz`` (general-model weights via
         :mod:`repro.nn.serialize`).  Returns the state-file path.
         """
-        os.makedirs(directory, exist_ok=True)
-        state = {
-            "version": _PLATFORM_FORMAT_VERSION,
-            "config": dataclasses.asdict(self.enld.config),
-            "catalog": catalog_state(self.catalog),
-            "enld": self.enld.state_dict(),
-            "scheduler": (scheduler_to_state(self.scheduler)
-                          if self.scheduler is not None else None),
-            "counters": {
-                "model_updates": self.model_updates,
-                "submissions": self.submissions,
-                "degraded_submissions": self.degraded_submissions,
-                "quarantined_submissions": self.quarantined_submissions,
-                "retries_total": self.retries_total,
-            },
-        }
-        # Weights first: if the process dies between the two writes the
-        # old state file still pairs with a complete weights file.
-        save_checkpoint(self.enld.model,
-                        os.path.join(directory, MODEL_WEIGHTS_FILE))
-        path = os.path.join(directory, PLATFORM_STATE_FILE)
-        atomic_write_json(path, state)
-        return path
+        with trace_span("checkpoint"):
+            os.makedirs(directory, exist_ok=True)
+            state = {
+                "version": _PLATFORM_FORMAT_VERSION,
+                "config": dataclasses.asdict(self.enld.config),
+                "catalog": catalog_state(self.catalog),
+                "enld": self.enld.state_dict(),
+                "scheduler": (scheduler_to_state(self.scheduler)
+                              if self.scheduler is not None else None),
+                "counters": {
+                    "model_updates": self.model_updates,
+                    "submissions": self.submissions,
+                    "degraded_submissions": self.degraded_submissions,
+                    "quarantined_submissions":
+                        self.quarantined_submissions,
+                    "retries_total": self.retries_total,
+                },
+            }
+            # Weights first: if the process dies between the two
+            # writes the old state file still pairs with a complete
+            # weights file.
+            save_checkpoint(self.enld.model,
+                            os.path.join(directory, MODEL_WEIGHTS_FILE))
+            path = os.path.join(directory, PLATFORM_STATE_FILE)
+            atomic_write_json(path, state)
+            return path
 
     @classmethod
     def resume(cls, directory: str, inventory: LabeledDataset,
@@ -364,23 +370,26 @@ class NoisyLabelPlatform:
         inventory split, clean-inventory ids, scheduler counters and
         model weights, without re-running setup training.
         """
-        with open(os.path.join(directory, PLATFORM_STATE_FILE)) as fh:
-            state = json.load(fh)
-        if state.get("version") != _PLATFORM_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported platform checkpoint version "
-                f"{state.get('version')!r}")
-        config = ENLDConfig(**state["config"])
+        with trace_span("resume"):
+            with open(os.path.join(directory,
+                                   PLATFORM_STATE_FILE)) as fh:
+                state = json.load(fh)
+            if state.get("version") != _PLATFORM_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported platform checkpoint version "
+                    f"{state.get('version')!r}")
+            config = ENLDConfig(**state["config"])
 
-        self = cls.__new__(cls)
-        self.catalog = DataLakeCatalog(inventory)
-        for arrival in arrivals:
-            self.catalog.register_arrival(arrival)
-        restore_catalog_state(self.catalog, state["catalog"], strict=False)
-        self.enld = ENLD(config)
-        self.enld.load_state(state["enld"], inventory)
-        load_checkpoint(self.enld.model,
-                        os.path.join(directory, MODEL_WEIGHTS_FILE))
+            self = cls.__new__(cls)
+            self.catalog = DataLakeCatalog(inventory)
+            for arrival in arrivals:
+                self.catalog.register_arrival(arrival)
+            restore_catalog_state(self.catalog, state["catalog"],
+                                  strict=False)
+            self.enld = ENLD(config)
+            self.enld.load_state(state["enld"], inventory)
+            load_checkpoint(self.enld.model,
+                            os.path.join(directory, MODEL_WEIGHTS_FILE))
         self.scheduler = (scheduler_from_state(state["scheduler"])
                           if state["scheduler"] is not None else None)
         self.trace_enabled = trace

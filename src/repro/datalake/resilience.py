@@ -51,7 +51,7 @@ INJECTABLE_STAGES = (
 class InjectedFault(RuntimeError):
     """A failure injected by a :class:`FaultPlan` at a stage boundary."""
 
-    def __init__(self, stage: str, occurrence: int):
+    def __init__(self, stage: str, occurrence: int) -> None:
         super().__init__(f"injected fault at stage {stage!r} "
                          f"(occurrence {occurrence})")
         self.stage = stage
@@ -105,7 +105,7 @@ class FaultPlan:
     RNG reseeded), so replaying a plan reproduces the same faults.
     """
 
-    def __init__(self, rules: Iterable[FaultRule], seed: int = 0):
+    def __init__(self, rules: Iterable[FaultRule], seed: int = 0) -> None:
         self.rules: List[FaultRule] = list(rules)
         self.seed = seed
 
@@ -126,7 +126,7 @@ class FaultInjector:
     letting tests assert exact counter agreement with the plan.
     """
 
-    def __init__(self, rules: Sequence[FaultRule], seed: int = 0):
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
         self._rules = list(rules)
         self._rng = np.random.default_rng(seed)
         self.calls: Dict[str, int] = {}

@@ -41,7 +41,7 @@ class ArrivalStream:
                  transition: Optional[np.ndarray] = None,
                  missing_fraction: float = 0.0,
                  num_classes: Optional[int] = None,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         if transition is not None:
             transition = validate_transition(transition)
         self.pool = pool

@@ -22,7 +22,8 @@ def _spc(base: int, scale: str) -> int:
     try:
         factor = _SCALES[scale]
     except KeyError:
-        raise KeyError(f"unknown scale {scale!r}; available: {sorted(_SCALES)}")
+        raise KeyError(f"unknown scale {scale!r}; "
+                       f"available: {sorted(_SCALES)}") from None
     return max(int(round(base * factor)), 6)
 
 
@@ -105,5 +106,6 @@ def get_preset(name: str, **kwargs) -> SyntheticSpec:
         factory = _PRESETS[name]
     except KeyError:
         raise KeyError(
-            f"unknown preset {name!r}; available: {available_presets()}")
+            f"unknown preset {name!r}; "
+            f"available: {available_presets()}") from None
     return factory(**kwargs)

@@ -141,4 +141,4 @@ def paper_shard_plan(dataset_preset: str) -> ShardPlan:
         return plans[dataset_preset]
     except KeyError:
         raise KeyError(f"no shard plan for preset {dataset_preset!r}; "
-                       f"available: {sorted(plans)}")
+                       f"available: {sorted(plans)}") from None

@@ -10,24 +10,15 @@ Two complementary cost views are reported everywhere:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List
 
+# Wall-clock reads are owned by observability; re-exported here so
+# existing ``from repro.eval.timer import Stopwatch`` callers keep
+# working.
+from ..obs.clock import Stopwatch
 
-class Stopwatch:
-    """Context manager measuring elapsed wall-clock seconds."""
-
-    def __init__(self) -> None:
-        self.seconds: float = 0.0
-        self._start: float = 0.0
-
-    def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.seconds = time.perf_counter() - self._start
+__all__ = ["Stopwatch", "CostProfile"]
 
 
 @dataclass

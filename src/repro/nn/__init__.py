@@ -18,6 +18,7 @@ from .models import (Classifier, DenseNetMLP, MLPClassifier, ResNetMLP,
                      SmallConvNet, available_models, build_model,
                      register_model)
 from .optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
+from .rng import resolve_rng
 from .serialize import clone_module, copy_into, load_checkpoint, save_checkpoint
 from .tensor import Tensor, concatenate, stack
 from .train import TrainReport, evaluate_loss, fit, fit_epoch
@@ -30,7 +31,7 @@ __all__ = [
     "build_model", "register_model", "available_models",
     "cross_entropy", "soft_cross_entropy", "mse_loss",
     "SGD", "Adam", "StepLR", "CosineLR", "clip_grad_norm",
-    "LabeledDataset", "DataLoader", "train_test_split",
+    "LabeledDataset", "DataLoader", "train_test_split", "resolve_rng",
     "mixup_batch",
     "accuracy", "evaluate_accuracy", "confusion_matrix",
     "fit", "fit_epoch", "evaluate_loss", "TrainReport",

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from .layers import BatchNorm1d, Conv2d, Linear, Module
+from .rng import resolve_rng
 from .tensor import Tensor, concatenate
 
 
@@ -27,7 +28,7 @@ class ResidualMLPBlock(Module):
     def __init__(self, width: int, rng: Optional[np.random.Generator] = None,
                  use_norm: bool = True):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.norm1 = BatchNorm1d(width) if use_norm else None
         self.fc1 = Linear(width, width, rng=rng)
         self.norm2 = BatchNorm1d(width) if use_norm else None
@@ -54,7 +55,7 @@ class DenseMLPBlock(Module):
     def __init__(self, in_width: int, growth: int, num_layers: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.layers = []
         width = in_width
         for _ in range(num_layers):
@@ -88,7 +89,7 @@ class ResidualConvBlock(Module):
     def __init__(self, channels: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.conv1 = Conv2d(channels, channels, 3, padding=1, rng=rng)
         self.conv2 = Conv2d(channels, channels, 3, padding=1, rng=rng)
 

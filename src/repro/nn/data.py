@@ -14,6 +14,8 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .rng import resolve_rng
+
 
 @dataclass
 class LabeledDataset:
@@ -157,7 +159,7 @@ class DataLoader:
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def __len__(self) -> int:
         n = len(self.dataset)

@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .rng import resolve_rng
 from .tensor import Tensor
 
 
@@ -49,7 +50,7 @@ def dropout(x: Tensor, p: float, training: bool,
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
     return x * Tensor(mask)
 

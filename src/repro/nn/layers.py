@@ -14,6 +14,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .rng import resolve_rng
 from .tensor import Tensor
 
 
@@ -151,7 +152,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Tensor(
@@ -171,7 +172,7 @@ class Conv2d(Module):
                  stride: int = 1, padding: int = 0, bias: bool = True,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.stride = stride
         self.padding = padding
         fan_in = in_channels * kernel_size * kernel_size
@@ -211,7 +212,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, self.training, self.rng)

@@ -28,6 +28,7 @@ from .blocks import (DenseMLPBlock, ResidualConvBlock, ResidualMLPBlock,
                      TransitionMLP)
 from .layers import (BatchNorm1d, Conv2d, Linear, Module, ReLU,
                      Sequential)
+from .rng import resolve_rng
 from .tensor import Tensor
 
 
@@ -97,7 +98,7 @@ class MLPClassifier(Classifier):
     def __init__(self, in_features: int, num_classes: int,
                  hidden: int = 128,
                  rng: Optional[np.random.Generator] = None):
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         super().__init__(hidden, num_classes, rng=rng)
         self.body = Sequential(
             Linear(in_features, hidden, rng=rng), ReLU(),
@@ -117,7 +118,7 @@ class ResNetMLP(Classifier):
                  width: int = 96, num_blocks: int = 18,
                  use_norm: bool = True,
                  rng: Optional[np.random.Generator] = None):
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         super().__init__(width, num_classes, rng=rng)
         self.stem = Linear(in_features, width, rng=rng)
         self.blocks = [ResidualMLPBlock(width, rng=rng, use_norm=use_norm)
@@ -142,7 +143,7 @@ class DenseNetMLP(Classifier):
                  width: int = 64, growth: int = 16,
                  block_layers: tuple = (4, 4, 4),
                  rng: Optional[np.random.Generator] = None):
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self._rng = rng
         blocks: List[Module] = []
         w = width
@@ -177,7 +178,7 @@ class SmallConvNet(Classifier):
     def __init__(self, in_shape: tuple, num_classes: int,
                  channels: int = 16,
                  rng: Optional[np.random.Generator] = None):
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         c, h, w = in_shape
         if h % 4 or w % 4:
             raise ValueError(f"spatial dims must be divisible by 4, got {in_shape}")
@@ -284,5 +285,6 @@ def build_model(name: str, in_features: int, num_classes: int,
         factory = _REGISTRY[name]
     except KeyError:
         raise KeyError(
-            f"unknown model {name!r}; available: {available_models()}")
+            f"unknown model {name!r}; "
+            f"available: {available_models()}") from None
     return factory(in_features, num_classes, rng=rng, **kwargs)

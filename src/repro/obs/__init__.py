@@ -7,6 +7,7 @@ See :mod:`repro.obs.tracer` for the model and :mod:`repro.obs.export`
 for JSON serialisation, aggregation and the CI baseline gate.
 """
 
+from .clock import Stopwatch
 from .export import (check_against_baseline, compare_stage_work,
                      flatten_spans, format_summary, load_trace,
                      merge_trace_dicts, refresh_baseline, save_trace)
@@ -15,6 +16,7 @@ from .tracer import (NULL_TRACER, NullTracer, SpanNode, Tracer, add_work,
                      trace_span, use_span_hook, use_tracer)
 
 __all__ = [
+    "Stopwatch",
     "Tracer", "NullTracer", "NULL_TRACER", "SpanNode",
     "current_tracer", "use_tracer", "trace_span", "add_work", "incr",
     "observe", "use_span_hook", "current_span_hook",

@@ -1,0 +1,37 @@
+"""Wall-clock reads, owned by observability.
+
+Every raw clock read in the library lives here or in
+:mod:`repro.obs.tracer`; the ``REP401`` analysis rule keeps it that
+way.  Centralising the reads keeps timing mockable in tests and makes
+the deterministic sample-epoch *work model* — not ad-hoc wall-clock
+deltas — the quantity CI gates on.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    ``seconds`` tracks the running total while the block is open and
+    freezes at exit, so it can be read both mid-flight and after::
+
+        with Stopwatch() as sw:
+            do_work()
+        report.setup_seconds = sw.seconds
+    """
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.seconds = time.perf_counter() - self._start

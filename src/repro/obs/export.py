@@ -17,7 +17,7 @@ Companion to :mod:`repro.obs.tracer`: everything that operates on the
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, TextIO
 
 
 def save_trace(trace: dict, path: str) -> None:
@@ -175,7 +175,7 @@ def compare_stage_work(trace: dict, baseline: dict,
 
 def check_against_baseline(trace: dict, baseline_path: str,
                            tolerance: float = 0.15,
-                           out=None) -> bool:
+                           out: Optional[TextIO] = None) -> bool:
     """Load a baseline file, compare, and print the verdict.
 
     Returns ``True`` when the gate passes.  ``out`` is a file-like for

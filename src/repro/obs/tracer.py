@@ -39,7 +39,7 @@ import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 Number = Union[int, float]
 
@@ -53,7 +53,7 @@ class SpanNode:
 
     __slots__ = ("name", "calls", "wall_seconds", "work", "children")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.calls: int = 0
         self.wall_seconds: float = 0.0
@@ -76,7 +76,7 @@ class SpanNode:
                                for name, c in self.children.items()}
         return out
 
-    def walk(self, prefix: str = "") -> Iterator[tuple]:
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "SpanNode"]]:
         """Yield ``(path, node)`` depth-first, paths joined with '/'."""
         path = f"{prefix}/{self.name}" if prefix else self.name
         yield path, self
@@ -116,7 +116,7 @@ class _SpanContext:
 
     __slots__ = ("_tracer", "_name", "_node", "_start")
 
-    def __init__(self, tracer: "Tracer", name: str):
+    def __init__(self, tracer: "Tracer", name: str) -> None:
         self._tracer = tracer
         self._name = name
         self._node: Optional[SpanNode] = None
@@ -127,7 +127,7 @@ class _SpanContext:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         elapsed = time.perf_counter() - self._start
         self._tracer._pop(self._node, elapsed)
 
@@ -259,7 +259,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         pass
 
 
@@ -276,7 +276,9 @@ def current_tracer() -> Union[Tracer, NullTracer]:
 
 
 @contextmanager
-def use_tracer(tracer: Optional[Union[Tracer, NullTracer]]):
+def use_tracer(
+    tracer: Optional[Union[Tracer, NullTracer]],
+) -> Iterator[Union[Tracer, NullTracer]]:
     """Make ``tracer`` ambient within the ``with`` block.
 
     ``None`` leaves the current ambient tracer in place, so wrappers can
@@ -305,7 +307,7 @@ def current_span_hook() -> Optional[SpanHook]:
 
 
 @contextmanager
-def use_span_hook(hook: Optional[SpanHook]):
+def use_span_hook(hook: Optional[SpanHook]) -> Iterator[Optional[SpanHook]]:
     """Call ``hook(name)`` at every span boundary within the block.
 
     The hook fires when a span *opens*, before any timing starts, and
@@ -324,7 +326,7 @@ def use_span_hook(hook: Optional[SpanHook]):
         _span_hook.reset(token)
 
 
-def trace_span(name: str):
+def trace_span(name: str) -> Union[_SpanContext, _NullSpan]:
     """Open a span named ``name`` on the ambient tracer.
 
     When a span hook is installed (:func:`use_span_hook`) it is invoked

@@ -1,13 +1,16 @@
 """Tests for repro.datalake.persistence (catalog save/load)."""
 
 import json
+import os
 
 import numpy as np
 import pytest
 
+from repro.datalake import persistence
 from repro.datalake.catalog import DataLakeCatalog, DetectionRecord
-from repro.datalake.persistence import (catalog_state, load_catalog_state,
-                                        save_catalog)
+from repro.datalake.persistence import (atomic_write_json,
+                                        atomic_write_npz, catalog_state,
+                                        load_catalog_state, save_catalog)
 from repro.nn.data import LabeledDataset
 
 
@@ -77,3 +80,72 @@ class TestRoundtrip:
             load_catalog_state(DataLakeCatalog(
                 LabeledDataset(np.zeros((1, 1)), np.zeros(1, dtype=int))),
                 path)
+
+
+class TestCrashSafety:
+    """A kill mid-write must leave the previous state readable.
+
+    This is the atomic-write invariant the ``REP201`` analysis rule
+    protects: every state write goes temp-file + ``os.replace``, so
+    the only observable states are "old file intact" and "new file
+    complete".
+    """
+
+    def test_kill_inside_json_dump_keeps_previous_state(
+            self, tmp_path, monkeypatch):
+        catalog = make_catalog()
+        path = str(tmp_path / "catalog.json")
+        save_catalog(catalog, path)
+        with open(path) as fh:
+            before = fh.read()
+
+        def dying_dump(payload, fh, **kwargs):
+            fh.write('{"version": 2, "records": [')   # torn prefix…
+            raise OSError("killed mid-write")          # …then the kill
+
+        monkeypatch.setattr(persistence.json, "dump", dying_dump)
+        with pytest.raises(OSError, match="killed"):
+            save_catalog(catalog, path)
+        monkeypatch.undo()
+
+        with open(path) as fh:
+            assert fh.read() == before
+        # The previous state is not just byte-identical, it restores.
+        fresh = DataLakeCatalog(catalog.inventory)
+        fresh.register_arrival(catalog.get_arrival("a0"))
+        assert load_catalog_state(fresh, path) == 1
+
+    def test_kill_before_rename_keeps_previous_state_and_no_temp(
+            self, tmp_path, monkeypatch):
+        path = str(tmp_path / "state.json")
+        atomic_write_json(path, {"generation": 1})
+
+        def dying_replace(src, dst):
+            raise OSError("killed before rename")
+
+        monkeypatch.setattr(persistence.os, "replace", dying_replace)
+        with pytest.raises(OSError, match="rename"):
+            atomic_write_json(path, {"generation": 2})
+        monkeypatch.undo()
+
+        with open(path) as fh:
+            assert json.load(fh) == {"generation": 1}
+        # The aborted temp file was cleaned up.
+        assert os.listdir(tmp_path) == ["state.json"]
+
+    def test_kill_during_npz_write_keeps_previous_archive(
+            self, tmp_path, monkeypatch):
+        path = str(tmp_path / "weights.npz")
+        atomic_write_npz(path, {"w": np.arange(3.0)})
+
+        def dying_savez(fh, **arrays):
+            fh.write(b"PK\x03\x04garbage")
+            raise OSError("killed mid-write")
+
+        monkeypatch.setattr(persistence.np, "savez", dying_savez)
+        with pytest.raises(OSError, match="killed"):
+            atomic_write_npz(path, {"w": np.arange(5.0)})
+        monkeypatch.undo()
+
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(archive["w"], np.arange(3.0))
