@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples lint analyze typecheck \
-	trace-smoke chaos-smoke clean
+.PHONY: install test bench report examples lint analyze graph \
+	analyze-smoke typecheck trace-smoke chaos-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,18 @@ lint:
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro lint src
 
+# Render the project import graph (same graph the REP6xx rules check)
+# as Graphviz DOT.  `dot -Tsvg deps.dot -o deps.svg` to view.
+graph:
+	PYTHONPATH=src $(PYTHON) -m repro deps src --format dot > deps.dot
+	@echo "wrote deps.dot"
+
+# Analyzer perf smoke: cold vs warm incremental-cache full-tree runs
+# (hit/miss ledger gated, wall-clock sanity-checked).
+analyze-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		benchmarks/test_analyzer_smoke.py
+
 # Strict typing gate on the typed core (repro.obs, repro.datalake,
 # repro.core; scope configured in pyproject.toml).  Skips politely
 # when mypy is not installed.
@@ -63,5 +75,6 @@ chaos-smoke:
 		--checkpoint-dir chaos_ckpt
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info chaos_ckpt
+	rm -rf build dist *.egg-info src/*.egg-info chaos_ckpt \
+		.repro-analysis deps.dot
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,78 @@
+"""Analyzer perf smoke: cold vs warm incremental-cache full-tree runs.
+
+The whole-program analysis layer (REP6xx) re-runs on every ``repro
+lint`` invocation; what the incremental cache promises is that a warm
+run skips the expensive part — ``ast.parse`` plus the per-file rule
+pass — for every unchanged file.  This smoke proves the contract on
+the live ``src`` tree:
+
+- the cold run misses on every file, the warm run hits on every file;
+- warm and cold runs report byte-identical findings;
+- the warm run is no slower than the cold one (generous margin — the
+  gate is the hit/miss ledger, wall-clock only sanity-checks that the
+  cache is not pure overhead);
+- one absolute bound so a pathological slowdown fails loudly even if
+  both runs degrade together.
+
+Gated like the trace-smoke job: deterministic counters first,
+wall-clock second.
+"""
+
+import os
+import time
+
+from _common import emit
+
+from repro.analysis import analyze_paths
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+#: A full cold analysis of the live tree (~85 small modules) takes
+#: well under a second on any modern machine; 30s means something is
+#: catastrophically wrong (accidental quadratic pass, runaway IO).
+COLD_BUDGET_SECONDS = 30.0
+
+
+def _timed(cache_dir):
+    start = time.perf_counter()
+    result = analyze_paths([SRC], cache_dir=cache_dir)
+    return result, time.perf_counter() - start
+
+
+def _snapshot(result):
+    return [(f.rule, f.key, f.line, f.col, f.fingerprint)
+            for f in result.findings]
+
+
+def test_analyzer_cold_vs_warm(tmp_path):
+    cache_dir = str(tmp_path / "analysis-cache")
+    cold, cold_seconds = _timed(cache_dir)
+    warm, warm_seconds = _timed(cache_dir)
+
+    assert cold.files_scanned > 0
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == cold.files_scanned
+    assert warm.files_scanned == cold.files_scanned
+    assert warm.cache_hits == warm.files_scanned
+    assert warm.cache_misses == 0
+    assert _snapshot(warm) == _snapshot(cold)
+
+    assert cold_seconds < COLD_BUDGET_SECONDS, (
+        f"cold full-tree analysis took {cold_seconds:.2f}s")
+    # The warm run re-reads bytes and re-runs the graph rules, so it
+    # is not free — but it must never cost materially more than cold.
+    assert warm_seconds <= cold_seconds * 1.5 + 0.25, (
+        f"warm={warm_seconds:.3f}s vs cold={cold_seconds:.3f}s: "
+        f"the incremental cache is pure overhead")
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    emit("analyzer_smoke",
+         f"files={cold.files_scanned} cold={cold_seconds:.3f}s "
+         f"warm={warm_seconds:.3f}s speedup={speedup:.1f}x "
+         f"(hits={warm.cache_hits}, misses={warm.cache_misses})",
+         payload={"files": cold.files_scanned,
+                  "cold_seconds": cold_seconds,
+                  "warm_seconds": warm_seconds,
+                  "warm_hits": warm.cache_hits,
+                  "warm_misses": warm.cache_misses})

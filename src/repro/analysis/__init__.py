@@ -18,17 +18,23 @@ shrinks after the initial sweep.
 
 from .baseline import (DEFAULT_BASELINE_PATH, load_baseline,
                        write_baseline)
+from .cache import DEFAULT_CACHE_DIR, AnalysisCache
 from .config import DEFAULT_CONFIG, AnalysisConfig
 from .engine import analyze_paths, analyze_source, module_key
 from .findings import AnalysisResult, Finding, Severity
+from .graph import ModuleSummary, ProjectGraph
 from .report import render_json, render_sarif, render_text
-from .rules import RULES, Rule, all_rules
+from .rules import (GRAPH_RULES, RULES, GraphRule, Rule,
+                    all_graph_rules, all_rules)
 
 __all__ = [
     "AnalysisConfig", "DEFAULT_CONFIG",
     "AnalysisResult", "Finding", "Severity",
     "analyze_paths", "analyze_source", "module_key",
     "RULES", "Rule", "all_rules",
+    "GRAPH_RULES", "GraphRule", "all_graph_rules",
+    "ModuleSummary", "ProjectGraph",
+    "AnalysisCache", "DEFAULT_CACHE_DIR",
     "load_baseline", "write_baseline", "DEFAULT_BASELINE_PATH",
     "render_text", "render_json", "render_sarif",
 ]

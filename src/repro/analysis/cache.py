@@ -1,0 +1,188 @@
+"""Incremental analysis cache: content-digest keyed, stored on disk.
+
+Whole-program analysis re-parses every module, which would make warm
+``repro lint`` runs pay the full cold cost on every invocation.  The
+cache stores, per file, the SHA-256 of its content plus the two
+expensive products of parsing it: the per-file rule findings (after
+``noqa`` suppression, which only depends on the file's own text) and
+the :class:`~repro.analysis.graph.ModuleSummary` the graph layer
+consumes.  A warm run re-reads file bytes (needed for the digest
+anyway) but skips ``ast.parse`` and the per-file rule pass for every
+unchanged file; the REP6xx graph rules always re-run over the (cheap)
+summaries because their findings depend on *other* modules.
+
+Invalidation: the store is keyed by a schema version, a digest of the
+:class:`~repro.analysis.config.AnalysisConfig` and the rule catalog —
+editing the config or adding a rule invalidates everything; editing
+one file invalidates only that file.  The store lives under
+``.repro-analysis/`` (gitignored) and is written atomically
+(temp file + ``os.replace``), so a killed run never leaves a torn
+cache behind.  A corrupt or stale-version cache file reads as empty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from .config import AnalysisConfig
+from .findings import Finding, Severity
+from .graph import ModuleSummary
+
+#: Bump when the cached summary/finding schema (or any rule's logic)
+#: changes in a way older entries cannot represent.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory, relative to the invocation directory.
+DEFAULT_CACHE_DIR = ".repro-analysis"
+
+_CACHE_FILENAME = "cache.json"
+
+
+def _jsonable(value: object) -> object:
+    """Deterministic JSON form for config fields (sets sorted)."""
+    if isinstance(value, (frozenset, set)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v)
+                for k, v in sorted(value.items(), key=lambda i: str(i[0]))}
+    return value
+
+
+def config_digest(config: AnalysisConfig) -> str:
+    """Stable digest of the analysis config + rule catalog."""
+    from .rules import GRAPH_RULES, RULES
+
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "config": {f.name: _jsonable(getattr(config, f.name))
+                   for f in dataclasses.fields(config)},
+        "rules": sorted(RULES) + sorted(GRAPH_RULES),
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def content_digest(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, object]:
+    return {"rule": finding.rule, "severity": finding.severity.value,
+            "path": finding.path, "key": finding.key,
+            "line": finding.line, "col": finding.col,
+            "message": finding.message,
+            "source_line": finding.source_line,
+            "suppressed": finding.suppressed,
+            "occurrence": finding.occurrence}
+
+
+def _finding_from_dict(d: Dict[str, object]) -> Finding:
+    return Finding(rule=str(d["rule"]),
+                   severity=Severity(d["severity"]),
+                   path=str(d["path"]), key=str(d["key"]),
+                   line=int(d["line"]), col=int(d["col"]),
+                   message=str(d["message"]),
+                   source_line=str(d["source_line"]),
+                   suppressed=d["suppressed"],
+                   occurrence=int(d["occurrence"]))
+
+
+class AnalysisCache:
+    """Digest-keyed store of per-file findings and module summaries."""
+
+    def __init__(self, directory: str, config: AnalysisConfig):
+        self.directory = directory
+        self.path = os.path.join(directory, _CACHE_FILENAME)
+        self.config_key = config_digest(config)
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return
+        if payload.get("config") != self.config_key:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._entries = files
+
+    def lookup(self, path: str, digest: str, key: str,
+               ) -> Optional[Tuple[List[Finding],
+                                   Optional[ModuleSummary]]]:
+        """Cached ``(findings, summary)`` for an unchanged file.
+
+        ``key`` must match the stored module key: the same file
+        scanned under a different root keys (and fingerprints)
+        differently, so the entry cannot be replayed.
+        """
+        entry = self._entries.get(os.path.abspath(path))
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            return None
+        if entry.get("key") != key:
+            return None
+        try:
+            findings = [_finding_from_dict(d)
+                        for d in entry["findings"]]
+            raw_summary = entry["summary"]
+            summary = (ModuleSummary.from_dict(raw_summary)
+                       if raw_summary is not None else None)
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, summary
+
+    def store(self, path: str, digest: str, key: str,
+              findings: List[Finding],
+              summary: Optional[ModuleSummary]) -> None:
+        self._entries[os.path.abspath(path)] = {
+            "digest": digest,
+            "key": key,
+            "findings": [_finding_to_dict(f) for f in findings],
+            "summary": summary.to_dict() if summary else None,
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: List[str]) -> None:
+        """Drop entries for files no longer in the scan set."""
+        live = {os.path.abspath(p) for p in live_paths}
+        dead = [p for p in self._entries if p not in live]
+        for path in dead:
+            del self._entries[path]
+        if dead:
+            self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op when unchanged)."""
+        if not self._dirty:
+            return
+        payload = {"schema": CACHE_SCHEMA_VERSION,
+                   "config": self.config_key,
+                   "files": self._entries}
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                   suffix=".cache.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False

@@ -1,0 +1,276 @@
+"""Function and call-site extraction for the REP604 dataflow rule.
+
+The whole-program RNG-threading check needs, for every module, (a) the
+signatures of its top-level functions, methods and class constructors,
+and (b) every call site inside each function together with how its
+arguments bind.  Both are extracted syntactically at parse time into
+JSON-serialisable records; cross-module resolution happens later in
+:mod:`repro.analysis.graph` once every module summary is available.
+
+A function *holds* an RNG when it accepts an rng-like parameter, binds
+a local from an RNG factory call (``numpy.random.default_rng`` /
+``repro.nn.rng.resolve_rng``), or reads an rng-like attribute such as
+``self._rng``.  Callee references are encoded as strings the graph can
+resolve conservatively:
+
+- ``local:name`` — a name defined or imported in this module;
+- ``self:Class.method`` — a method call on ``self``;
+- ``dotted:pkg.mod.func`` — an import-map-resolved attribute chain.
+
+Anything else (calls on locals, call results, subscripts) is left
+unresolved and never produces a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .rules import ImportMap
+
+#: Local / parameter / attribute names treated as Generator-valued.
+RNG_NAME_RE = re.compile(r"^_?(rng|generator)$")
+
+#: Dotted call targets whose result is a Generator.
+RNG_FACTORY_SUFFIXES = ("numpy.random.default_rng", ".resolve_rng")
+
+
+@dataclass
+class ParamInfo:
+    """One parameter of a project function."""
+
+    name: str
+    has_default: bool
+
+    def to_dict(self) -> List[object]:
+        return [self.name, self.has_default]
+
+    @classmethod
+    def from_dict(cls, d: List[object]) -> "ParamInfo":
+        return cls(name=str(d[0]), has_default=bool(d[1]))
+
+
+@dataclass
+class CallSite:
+    """One call inside a function body, with argument-binding shape."""
+
+    line: int
+    col: int
+    callee: str                #: encoded reference (see module doc)
+    npos: int                  #: positional argument count
+    kwnames: Tuple[str, ...]   #: explicit keyword names
+    has_star: bool = False     #: ``*args`` present
+    has_kwstar: bool = False   #: ``**kwargs`` present
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"line": self.line, "col": self.col,
+                "callee": self.callee, "npos": self.npos,
+                "kwnames": list(self.kwnames),
+                "has_star": self.has_star,
+                "has_kwstar": self.has_kwstar}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "CallSite":
+        return cls(line=int(d["line"]), col=int(d["col"]),
+                   callee=str(d["callee"]), npos=int(d["npos"]),
+                   kwnames=tuple(d["kwnames"]),
+                   has_star=bool(d["has_star"]),
+                   has_kwstar=bool(d["has_kwstar"]))
+
+
+@dataclass
+class FunctionInfo:
+    """Signature + RNG/dataflow facts for one function or method."""
+
+    qualname: str              #: ``fit`` or ``ENLD.detect``
+    line: int
+    col: int
+    #: parameters in order, ``self``/``cls`` already stripped.
+    params: Tuple[ParamInfo, ...] = ()
+    is_method: bool = False
+    holds_rng: bool = False
+    calls: Tuple[CallSite, ...] = ()
+
+    def param_index(self, name: str) -> Optional[int]:
+        for index, param in enumerate(self.params):
+            if param.name == name:
+                return index
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"qualname": self.qualname, "line": self.line,
+                "col": self.col,
+                "params": [p.to_dict() for p in self.params],
+                "is_method": self.is_method,
+                "holds_rng": self.holds_rng,
+                "calls": [c.to_dict() for c in self.calls]}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "FunctionInfo":
+        return cls(qualname=str(d["qualname"]), line=int(d["line"]),
+                   col=int(d["col"]),
+                   params=tuple(ParamInfo.from_dict(p)
+                                for p in d["params"]),
+                   is_method=bool(d["is_method"]),
+                   holds_rng=bool(d["holds_rng"]),
+                   calls=tuple(CallSite.from_dict(c)
+                               for c in d["calls"]))
+
+
+@dataclass
+class ClassInfo:
+    """A top-level class: its name and constructor signature."""
+
+    name: str
+    #: ``__init__`` params with ``self`` stripped; None when the class
+    #: defines no explicit constructor.
+    init_params: Optional[Tuple[ParamInfo, ...]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name,
+                "init_params": ([p.to_dict() for p in self.init_params]
+                                if self.init_params is not None
+                                else None)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ClassInfo":
+        raw = d["init_params"]
+        return cls(name=str(d["name"]),
+                   init_params=(tuple(ParamInfo.from_dict(p)
+                                      for p in raw)
+                                if raw is not None else None))
+
+
+def _params_of(node: ast.AST, is_method: bool) -> Tuple[ParamInfo, ...]:
+    """Ordered parameters with default-presence, self/cls stripped."""
+    args = node.args
+    ordered = list(args.posonlyargs) + list(args.args)
+    out: List[ParamInfo] = []
+    no_default = len(ordered) - len(args.defaults)
+    for index, arg in enumerate(ordered):
+        out.append(ParamInfo(arg.arg, index >= no_default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        out.append(ParamInfo(arg.arg, default is not None))
+    if is_method and out and out[0].name in ("self", "cls"):
+        out = out[1:]
+    return tuple(out)
+
+
+class _FunctionScanner:
+    """Per-function pass: RNG-holding facts and resolvable call sites."""
+
+    def __init__(self, imports: ImportMap,
+                 own_class: Optional[str]):
+        self.imports = imports
+        self.own_class = own_class
+
+    def scan(self, node: ast.AST, qualname: str,
+             is_method: bool) -> FunctionInfo:
+        params = _params_of(node, is_method)
+        holds = any(RNG_NAME_RE.match(p.name) for p in params)
+        calls: List[CallSite] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and \
+                    RNG_NAME_RE.match(sub.attr):
+                holds = True
+            elif isinstance(sub, ast.Assign):
+                if self._is_rng_factory(sub.value) and any(
+                        isinstance(t, ast.Name)
+                        for t in sub.targets):
+                    holds = True
+            elif isinstance(sub, ast.Name) and \
+                    RNG_NAME_RE.match(sub.id):
+                holds = True
+            elif isinstance(sub, ast.Call):
+                site = self._call_site(sub)
+                if site is not None:
+                    calls.append(site)
+        return FunctionInfo(qualname=qualname, line=node.lineno,
+                            col=node.col_offset, params=params,
+                            is_method=is_method, holds_rng=holds,
+                            calls=tuple(calls))
+
+    def _is_rng_factory(self, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        dotted = self.imports.resolve(value.func)
+        if dotted is None:
+            return False
+        return any(dotted == s or dotted.endswith(s)
+                   for s in RNG_FACTORY_SUFFIXES)
+
+    def _call_site(self, node: ast.Call) -> Optional[CallSite]:
+        callee = self._encode_callee(node.func)
+        if callee is None:
+            return None
+        return CallSite(
+            line=node.lineno, col=node.col_offset, callee=callee,
+            npos=sum(1 for a in node.args
+                     if not isinstance(a, ast.Starred)),
+            kwnames=tuple(k.arg for k in node.keywords
+                          if k.arg is not None),
+            has_star=any(isinstance(a, ast.Starred)
+                         for a in node.args),
+            has_kwstar=any(k.arg is None for k in node.keywords))
+
+    def _encode_callee(self, func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return f"local:{func.id}"
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id == "self" and self.own_class):
+                return f"self:{self.own_class}.{func.attr}"
+            dotted = self.imports.resolve(func)
+            if dotted is not None and not dotted.startswith("."):
+                return f"dotted:{dotted}"
+        return None
+
+
+@dataclass
+class ModuleFunctions:
+    """All functions, methods and classes of one module."""
+
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"functions": {k: f.to_dict()
+                              for k, f in self.functions.items()},
+                "classes": {k: c.to_dict()
+                            for k, c in self.classes.items()}}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ModuleFunctions":
+        return cls(functions={k: FunctionInfo.from_dict(f)
+                              for k, f in d["functions"].items()},
+                   classes={k: ClassInfo.from_dict(c)
+                            for k, c in d["classes"].items()})
+
+
+def extract_functions(tree: ast.Module,
+                      imports_map: Optional[ImportMap] = None,
+                      ) -> ModuleFunctions:
+    """Extract every top-level function, method and class summary."""
+    imports_map = imports_map or ImportMap(tree)
+    out = ModuleFunctions()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scanner = _FunctionScanner(imports_map, None)
+            out.functions[node.name] = scanner.scan(
+                node, node.name, is_method=False)
+        elif isinstance(node, ast.ClassDef):
+            init_params: Optional[Tuple[ParamInfo, ...]] = None
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                scanner = _FunctionScanner(imports_map, node.name)
+                qualname = f"{node.name}.{item.name}"
+                out.functions[qualname] = scanner.scan(
+                    item, qualname, is_method=True)
+                if item.name == "__init__":
+                    init_params = out.functions[qualname].params
+            out.classes[node.name] = ClassInfo(node.name, init_params)
+    return out

@@ -14,9 +14,10 @@ from typing import List
 
 from .baseline import (DEFAULT_BASELINE_PATH, load_baseline,
                        write_baseline)
+from .cache import DEFAULT_CACHE_DIR
 from .engine import analyze_paths
 from .report import render_json, render_sarif, render_text
-from .rules import RULES
+from .rules import GRAPH_RULES, RULES
 
 
 def add_parser(sub: "argparse._SubParsersAction") -> None:
@@ -43,11 +44,16 @@ def add_parser(sub: "argparse._SubParsersAction") -> None:
                         "output")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="incremental analysis cache directory "
+                        f"(default: {DEFAULT_CACHE_DIR})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the incremental cache for this run")
     p.set_defaults(fn=cmd_lint)
 
 
 def _print_rules() -> None:
-    for rule_id, cls in sorted(RULES.items()):
+    for rule_id, cls in sorted({**RULES, **GRAPH_RULES}.items()):
         print(f"{rule_id}  {cls.severity.value:7s}  {cls.title}")
         print(f"        {cls.description}")
 
@@ -63,7 +69,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = analyze_paths(args.paths, baseline=baseline)
+    cache_dir = None if args.no_cache else args.cache_dir
+    result = analyze_paths(args.paths, baseline=baseline,
+                           cache_dir=cache_dir)
     if args.write_baseline:
         count = write_baseline(args.baseline, result.findings)
         print(f"wrote {count} finding(s) to {args.baseline}")

@@ -44,6 +44,39 @@ TRACED_ENTRY_POINTS: Dict[str, FrozenSet[str]] = {
     }),
 }
 
+#: The declared layer DAG (REP602), as module-key prefixes -> rank.
+#: A module may only import modules of rank <= its own.  Rank 0 is the
+#: universal substrate (``obs``, ``analysis``): importable everywhere,
+#: allowed to import nothing above itself.  Same-rank imports are
+#: allowed (``noise -> nn``); cycles *within* a rank are caught by
+#: REP601.  Keys not matching any prefix are outside the contract.
+LAYER_RANKS: Dict[str, int] = {
+    "repro/obs/": 0,
+    "repro/analysis/": 0,
+    "repro/nn/": 1,
+    "repro/index/": 1,
+    "repro/noise/": 1,
+    "repro/datasets/": 1,
+    "repro/core/": 2,
+    "repro/baselines/": 3,
+    "repro/eval/": 3,
+    "repro/datalake/": 4,
+    "repro/experiments/": 5,
+    "repro/cli.py": 5,
+    "repro/__main__.py": 5,
+    "repro/__init__.py": 5,
+}
+
+#: Compatibility facades (REP602): ``module:symbol`` -> canonical
+#: home.  Importing the symbol *through the facade* from inside the
+#: library is a layering violation; the facade exists only so external
+#: users' imports keep working.  ``eval.timer`` re-exporting
+#: ``Stopwatch`` is the historical ``eval -> obs`` shim from the
+#: wall-clock migration (DESIGN.md §10).
+FACADE_IMPORTS: Dict[str, str] = {
+    "repro.eval.timer:Stopwatch": "repro.obs.clock",
+}
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -76,6 +109,21 @@ class AnalysisConfig:
     #: from __all__" warning; any module with a malformed ``__all__``
     #: gets the error.
     all_export_warning_suffix: str = "__init__.py"
+
+    #: Layer contract for REP602: module-key prefix -> rank; imports
+    #: may only point at equal or lower ranks.
+    layer_ranks: Dict[str, int] = field(
+        default_factory=lambda: dict(LAYER_RANKS))
+
+    #: Compatibility facades for REP602: ``module:symbol`` -> canonical
+    #: home the symbol must be imported from inside the library.
+    facade_imports: Dict[str, str] = field(
+        default_factory=lambda: dict(FACADE_IMPORTS))
+
+    #: Parameter names REP604 treats as Generator-valued: a function
+    #: holding an RNG must bind these on every project callee that
+    #: declares one with a default (the silent-fallback case).
+    rng_param_names: Tuple[str, ...] = ("rng", "generator")
 
 
 DEFAULT_CONFIG = AnalysisConfig()

@@ -1,0 +1,209 @@
+"""``repro deps``: inspect the project import graph.
+
+Thin CLI over :class:`~repro.analysis.graph.ProjectGraph` — the same
+graph the REP6xx rules check.  Four views:
+
+- default: a text tree of every scanned module and its
+  project-internal imports (type-only and deferred edges annotated);
+- ``--format json``: the modules and edge list as a machine-readable
+  document;
+- ``--format dot``: Graphviz DOT (type-only edges dashed, deferred
+  edges dotted), used by ``make graph`` and the CI artifact;
+- ``--cycles`` / ``--why A B``: the two queries people actually ask —
+  "is anything circular?" (exit 1 when yes) and "why does A depend on
+  B?" (exit 1 when it does not).
+
+``--packages`` condenses modules to their package (one dotted level
+below ``repro``) before rendering, which is the right zoom level for
+checking the layer DAG by eye.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .engine import iter_python_files_with_roots, module_key
+from .graph import Edge, ModuleSummary, ProjectGraph
+
+
+def build_graph(paths: List[str]) -> ProjectGraph:
+    """Parse every module under ``paths`` into a project graph.
+
+    Unparseable files are skipped — ``repro lint`` owns reporting
+    syntax errors; the graph works with what it can see.
+    """
+    summaries: List[Tuple[str, ModuleSummary]] = []
+    for path, root in iter_python_files_with_roots(paths):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        summaries.append(
+            (path, ModuleSummary.build(tree, module_key(path, root))))
+    return ProjectGraph.build(summaries)
+
+
+def _package_of(module: str, depth: int = 2) -> str:
+    return ".".join(module.split(".")[:depth])
+
+
+def condense_to_packages(graph: ProjectGraph,
+                         ) -> Dict[str, List[Edge]]:
+    """Package-level edge map (self-edges dropped, deduplicated).
+
+    A package edge is runtime as soon as *any* underlying module edge
+    is; the annotation flags only survive when every collapsed edge
+    carries them.
+    """
+    merged: Dict[Tuple[str, str], Edge] = {}
+    for edges in graph.edges.values():
+        for edge in edges:
+            source = _package_of(edge.source)
+            target = _package_of(edge.target)
+            if source == target:
+                continue
+            prior = merged.get((source, target))
+            if prior is None:
+                merged[(source, target)] = Edge(
+                    source, target, edge.line, edge.col, (),
+                    edge.typeonly, edge.deferred)
+            else:
+                merged[(source, target)] = Edge(
+                    source, target, min(prior.line, edge.line),
+                    prior.col, (),
+                    prior.typeonly and edge.typeonly,
+                    prior.deferred and edge.deferred)
+    out: Dict[str, List[Edge]] = {}
+    for (source, _target), edge in sorted(merged.items()):
+        out.setdefault(source, []).append(edge)
+    return out
+
+
+def _edge_map(graph: ProjectGraph,
+              packages: bool) -> Dict[str, List[Edge]]:
+    if packages:
+        return condense_to_packages(graph)
+    return {module: sorted(graph.edges.get(module, ()),
+                           key=lambda e: (e.target, e.line))
+            for module in sorted(graph.modules)}
+
+
+def _edge_marks(edge: Edge) -> str:
+    marks = [m for m, on in (("typeonly", edge.typeonly),
+                             ("deferred", edge.deferred)) if on]
+    return f" [{', '.join(marks)}]" if marks else ""
+
+
+def render_tree(graph: ProjectGraph, packages: bool = False) -> str:
+    out: List[str] = []
+    for module, edges in _edge_map(graph, packages).items():
+        out.append(module)
+        for edge in edges:
+            out.append(f"  -> {edge.target}{_edge_marks(edge)}")
+    return "\n".join(out)
+
+
+def render_deps_json(graph: ProjectGraph,
+                     packages: bool = False) -> Dict[str, object]:
+    edge_map = _edge_map(graph, packages)
+    edges = [{"source": e.source, "target": e.target,
+              "line": e.line, "typeonly": e.typeonly,
+              "deferred": e.deferred}
+             for group in edge_map.values() for e in group]
+    modules = (sorted(edge_map) if packages
+               else sorted(graph.modules))
+    return {"modules": modules, "edges": edges,
+            "cycles": graph.cycles()}
+
+
+def render_dot(graph: ProjectGraph, packages: bool = False) -> str:
+    """Graphviz DOT; type-only edges dashed, deferred dotted."""
+    out = ["digraph repro {", "  rankdir=LR;",
+           "  node [shape=box, fontsize=10];"]
+    for module, edges in _edge_map(graph, packages).items():
+        if not edges:
+            out.append(f'  "{module}";')
+        for edge in edges:
+            style = ""
+            if edge.typeonly:
+                style = ' [style=dashed, label="type-only"]'
+            elif edge.deferred:
+                style = ' [style=dotted, label="deferred"]'
+            out.append(f'  "{module}" -> "{edge.target}"{style};')
+    out.append("}")
+    return "\n".join(out)
+
+
+def add_parser(sub: "argparse._SubParsersAction") -> None:
+    """Register the ``deps`` subcommand on the repro CLI."""
+    p = sub.add_parser(
+        "deps",
+        help="inspect the project import graph (repro.analysis)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files/directories to scan (default: src)")
+    p.add_argument("--format", choices=["text", "json", "dot"],
+                   default="text", help="output format")
+    p.add_argument("--packages", action="store_true",
+                   help="condense modules to packages before "
+                        "rendering")
+    p.add_argument("--cycles", action="store_true",
+                   help="list runtime import cycles; exit 1 when any "
+                        "exist")
+    p.add_argument("--why", nargs=2, metavar=("SOURCE", "TARGET"),
+                   help="shortest runtime import chain from SOURCE "
+                        "to TARGET; exit 1 when there is none")
+    p.set_defaults(fn=cmd_deps)
+
+
+def cmd_deps(args: argparse.Namespace) -> int:
+    graph = build_graph(args.paths)
+    if args.cycles:
+        cycles = graph.cycles()
+        if not cycles:
+            print("no import cycles")
+            return 0
+        for cycle in cycles:
+            print(" -> ".join(cycle + [cycle[0]]))
+        return 1
+    if args.why:
+        source, target = args.why
+        for module in (source, target):
+            if module not in graph.modules:
+                print(f"error: {module} is not a scanned module",
+                      file=sys.stderr)
+                return 2
+        chain = graph.why(source, target)
+        if chain is None:
+            print(f"{source} does not import {target} "
+                  f"(directly or transitively)")
+            return 1
+        print(" -> ".join(chain))
+        return 0
+    if args.format == "json":
+        print(json.dumps(render_deps_json(graph, args.packages),
+                         indent=2))
+    elif args.format == "dot":
+        print(render_dot(graph, args.packages))
+    else:
+        print(render_tree(graph, args.packages))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.deps``)."""
+    parser = argparse.ArgumentParser(prog="repro-deps")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_parser(sub)
+    args = parser.parse_args(["deps", *(argv if argv is not None
+                                        else sys.argv[1:])])
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

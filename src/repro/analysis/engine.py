@@ -1,8 +1,11 @@
 """Analysis driver: walk files, run rules, apply suppressions.
 
 The engine is what ``repro lint`` executes: it collects ``.py`` files,
-parses each once, runs every registered rule over the module context,
-then filters the raw findings through the two suppression channels —
+parses each once, runs every registered per-file rule over the module
+context, extracts a :class:`~repro.analysis.graph.ModuleSummary`, then
+runs the whole-program REP6xx rules over the assembled
+:class:`~repro.analysis.graph.ProjectGraph`.  Raw findings pass
+through the two suppression channels —
 
 - **inline**: ``# repro: noqa[REP101]`` (or a blanket ``# repro:
   noqa``) on the flagged physical line;
@@ -12,6 +15,12 @@ then filters the raw findings through the two suppression channels —
 Suppressed findings stay in the result (marked with *how* they were
 silenced) so reports can show them; only *active* findings affect the
 exit code.
+
+With ``cache_dir`` set, per-file findings and module summaries are
+replayed from the incremental cache (:mod:`repro.analysis.cache`) for
+files whose content digest is unchanged — only edited files are
+re-parsed.  Graph rules always re-run: their findings depend on other
+modules, but they consume only the (cheap) summaries.
 """
 
 from __future__ import annotations
@@ -22,9 +31,12 @@ import re
 from pathlib import PurePosixPath
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from .cache import AnalysisCache, content_digest
 from .config import DEFAULT_CONFIG, AnalysisConfig
-from .findings import AnalysisResult, Finding, Severity
-from .rules import ModuleContext, all_rules
+from .findings import (SUPPRESSED_BASELINE, AnalysisResult, Finding,
+                       Severity)
+from .graph import ModuleSummary, ProjectGraph
+from .rules import ModuleContext, all_graph_rules, all_rules
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
@@ -34,29 +46,54 @@ _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules",
               "build", "dist"}
 
 
-def module_key(path: str) -> str:
-    """Path from the last ``repro`` component down, posix-joined.
+def module_key(path: str, root: Optional[str] = None) -> str:
+    """Stable module key for ``path``, posix-joined.
 
-    ``src/repro/datalake/stream.py`` and
+    Files inside a ``repro`` tree key as the path from the last
+    ``repro`` component down: ``src/repro/datalake/stream.py`` and
     ``/tmp/fixtures/repro/datalake/stream.py`` both key as
     ``repro/datalake/stream.py``, which is what rule scoping and
-    baseline fingerprints are expressed in.  Files outside a ``repro``
-    tree key as their bare filename.
+    baseline fingerprints are expressed in.
+
+    Files *outside* a ``repro`` tree key relative to the scan
+    ``root`` they were collected under (prefixed with the root's
+    basename so sibling roots stay distinct): scanning ``tests``
+    keys ``tests/fixtures/a.py`` as ``tests/fixtures/a.py``, not the
+    colliding bare ``a.py`` that older versions produced.  Baseline
+    migration note: fingerprints for non-``repro`` files recorded
+    before this change used the bare filename and must be re-written
+    (``repro lint --write-baseline``); in-repo baselines only cover
+    ``src/repro`` and are unaffected.  Without a root the bare
+    filename is kept for backwards compatibility.
     """
     parts = PurePosixPath(path.replace(os.sep, "/")).parts
     if "repro" in parts:
         idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
         return "/".join(parts[idx:])
+    if root is not None and os.path.isdir(root):
+        rel = os.path.relpath(path, root)
+        if not rel.startswith(".."):
+            rel_posix = rel.replace(os.sep, "/")
+            base = os.path.basename(os.path.normpath(root))
+            if base in (".", "..", ""):
+                return rel_posix
+            return f"{base}/{rel_posix}"
     return parts[-1] if parts else path
 
 
-def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
-    """Every ``.py`` file under ``paths``, sorted, skipping caches."""
-    seen: List[str] = []
+def iter_python_files_with_roots(paths: Iterable[str],
+                                 ) -> Iterator[Tuple[str, str]]:
+    """``(file, scan_root)`` for every ``.py`` file under ``paths``.
+
+    Files are yielded sorted and deduplicated; when two roots reach
+    the same file, the first root given wins (module keys must be
+    deterministic).  Cache/VCS directories are never descended into.
+    """
+    seen: Dict[str, str] = {}
     for path in paths:
         if os.path.isfile(path):
             if path.endswith(".py"):
-                seen.append(path)
+                seen.setdefault(path, path)
             continue
         for dirpath, dirnames, filenames in os.walk(path):
             dirnames[:] = sorted(d for d in dirnames
@@ -64,8 +101,15 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
                                  and not d.startswith("."))
             for name in sorted(filenames):
                 if name.endswith(".py"):
-                    seen.append(os.path.join(dirpath, name))
-    yield from sorted(dict.fromkeys(seen))
+                    seen.setdefault(os.path.join(dirpath, name), path)
+    for file in sorted(seen):
+        yield file, seen[file]
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths``, sorted, skipping caches."""
+    for file, _root in iter_python_files_with_roots(paths):
+        yield file
 
 
 def _noqa_rules(line: str) -> Optional[frozenset]:
@@ -79,12 +123,10 @@ def _noqa_rules(line: str) -> Optional[frozenset]:
     return frozenset(r.strip() for r in rules.split(",") if r.strip())
 
 
-def analyze_source(source: str, path: str,
-                   config: Optional[AnalysisConfig] = None,
-                   ) -> List[Finding]:
-    """Run every rule over one module's source text."""
-    config = config or DEFAULT_CONFIG
-    key = module_key(path)
+def _analyze_module(source: str, path: str, key: str,
+                    config: AnalysisConfig,
+                    ) -> Tuple[List[Finding], Optional[ModuleSummary]]:
+    """Per-file pass: findings (post-noqa) plus the module summary."""
     lines = source.splitlines()
     try:
         tree = ast.parse(source, filename=path)
@@ -95,7 +137,7 @@ def analyze_source(source: str, path: str,
             message=f"syntax error: {exc.msg}",
             source_line=(lines[exc.lineno - 1]
                          if exc.lineno and exc.lineno <= len(lines)
-                         else ""))]
+                         else ""))], None
     ctx = ModuleContext(path, key, tree, lines, config)
     findings: List[Finding] = []
     for rule in all_rules():
@@ -108,6 +150,16 @@ def analyze_source(source: str, path: str,
     _assign_occurrences(findings)
     _apply_noqa(findings, lines)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, ModuleSummary.build(tree, key)
+
+
+def analyze_source(source: str, path: str,
+                   config: Optional[AnalysisConfig] = None,
+                   root: Optional[str] = None) -> List[Finding]:
+    """Run every per-file rule over one module's source text."""
+    config = config or DEFAULT_CONFIG
+    findings, _summary = _analyze_module(
+        source, path, module_key(path, root), config)
     return findings
 
 
@@ -133,30 +185,93 @@ def _apply_noqa(findings: List[Finding], lines: List[str]) -> None:
             finding.suppressed = "noqa"
 
 
+def _graph_findings(graph: ProjectGraph, config: AnalysisConfig,
+                    file_lines: Dict[str, List[str]],
+                    ) -> List[Finding]:
+    """Run the REP6xx whole-program rules over the project graph."""
+    findings: List[Finding] = []
+    for rule in all_graph_rules():
+        for module, line, col, message in rule.check_project(
+                graph, config):
+            summary = graph.modules.get(module)
+            if summary is None:
+                continue
+            path = graph.paths[module]
+            lines = file_lines.get(path, [])
+            text = lines[line - 1] if 0 < line <= len(lines) else ""
+            findings.append(Finding(
+                rule=rule.id, severity=rule.severity, path=path,
+                key=summary.key, line=line, col=col, message=message,
+                source_line=text))
+    # REP6xx ids are disjoint from per-file rule ids, so occurrence
+    # counting over graph findings alone cannot collide with them.
+    _assign_occurrences(findings)
+    for finding in findings:
+        _apply_noqa([finding], file_lines.get(finding.path, []))
+    return findings
+
+
 def analyze_paths(paths: Iterable[str],
                   config: Optional[AnalysisConfig] = None,
                   baseline: Optional[Dict[str, Dict[str, object]]] = None,
+                  cache_dir: Optional[str] = None,
                   ) -> AnalysisResult:
     """Analyze every python file under ``paths``.
 
     ``baseline`` is the fingerprint map from
     :func:`repro.analysis.baseline.load_baseline`; matched findings
     are marked suppressed, unmatched entries are reported stale.
+    ``cache_dir`` enables the incremental cache: unchanged files
+    replay their findings and summary instead of being re-parsed.
     """
     config = config or DEFAULT_CONFIG
     baseline = baseline or {}
     result = AnalysisResult()
-    matched: set = set()
-    for path in iter_python_files(paths):
+    cache = (AnalysisCache(cache_dir, config)
+             if cache_dir is not None else None)
+    summaries: List[Tuple[str, ModuleSummary]] = []
+    file_lines: Dict[str, List[str]] = {}
+    all_findings: List[Finding] = []
+    scanned: List[str] = []
+    for path, root in iter_python_files_with_roots(paths):
         with open(path, encoding="utf-8") as fh:
             source = fh.read()
-        findings = analyze_source(source, path, config)
-        for finding in findings:
-            if (finding.suppressed is None
-                    and finding.fingerprint in baseline):
-                finding.suppressed = "baseline"
-                matched.add(finding.fingerprint)
-        result.findings.extend(findings)
+        scanned.append(path)
+        key = module_key(path, root)
+        digest = content_digest(source)
+        cached = cache.lookup(path, digest, key) if cache else None
+        if cached is not None:
+            findings, summary = cached
+            # Cached findings are stored pre-baseline, but guard
+            # against older stores: the current baseline is the only
+            # authority on baseline suppression.
+            for finding in findings:
+                if finding.suppressed == SUPPRESSED_BASELINE:
+                    finding.suppressed = None
+            result.cache_hits += 1
+        else:
+            findings, summary = _analyze_module(
+                source, path, key, config)
+            if cache is not None:
+                cache.store(path, digest, key, findings, summary)
+                result.cache_misses += 1
+        if summary is not None:
+            summaries.append((path, summary))
+        file_lines[path] = source.splitlines()
+        all_findings.extend(findings)
         result.files_scanned += 1
+    graph = ProjectGraph.build(summaries)
+    all_findings.extend(_graph_findings(graph, config, file_lines))
+    matched: set = set()
+    for finding in all_findings:
+        if (finding.suppressed is None
+                and finding.fingerprint in baseline):
+            finding.suppressed = "baseline"
+            matched.add(finding.fingerprint)
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.findings = all_findings
     result.stale_baseline = sorted(set(baseline) - matched)
+    if cache is not None:
+        cache.prune(scanned)
+        cache.save()
     return result

@@ -82,6 +82,10 @@ class AnalysisResult:
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
     stale_baseline: List[str] = field(default_factory=list)
+    #: Incremental-cache counters (both stay 0 when caching is off):
+    #: hits replayed stored findings/summaries, misses were re-parsed.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def active(self) -> List[Finding]:

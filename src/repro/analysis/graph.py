@@ -1,0 +1,406 @@
+"""Whole-program project graph: imports, symbols and call resolution.
+
+:class:`ProjectGraph` is built once per analysis run from the
+per-module summaries (:class:`ModuleSummary`), which are themselves
+either freshly extracted or replayed from the incremental cache.  It
+provides everything the REP6xx rule family and the ``repro deps`` CLI
+need:
+
+- a module-level **import graph** with alias and ``__init__``
+  re-export resolution (``from . import functional`` edges to the
+  submodule, not the package, so intra-package relative imports do not
+  read as cycles);
+- **strongly connected components** over the runtime edges (type-only
+  and function-deferred imports cannot create import-time cycles and
+  are excluded, but stay in the graph for display);
+- shortest-path **why queries** (``repro deps --why A B``);
+- conservative **symbol-origin** resolution following re-export
+  chains, and **call resolution** from the per-function call sites to
+  project :class:`~repro.analysis.callgraph.FunctionInfo` records.
+
+Resolution is deliberately conservative: anything that cannot be
+pinned to a project module or function resolves to ``None`` and never
+produces a finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .callgraph import FunctionInfo, ModuleFunctions
+from .symbols import (ImportRecord, ModuleSymbols, absolutize,
+                      is_package_key, module_name_from_key)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the graph layer keeps for one parsed module."""
+
+    key: str                       #: module key (repro/core/enld.py)
+    name: str                      #: dotted name (repro.core.enld)
+    is_package: bool
+    imports: List[ImportRecord] = field(default_factory=list)
+    symbols: ModuleSymbols = field(default_factory=ModuleSymbols)
+    functions: ModuleFunctions = field(default_factory=ModuleFunctions)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"key": self.key, "name": self.name,
+                "is_package": self.is_package,
+                "imports": [r.to_dict() for r in self.imports],
+                "symbols": self.symbols.to_dict(),
+                "functions": self.functions.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ModuleSummary":
+        return cls(key=str(d["key"]), name=str(d["name"]),
+                   is_package=bool(d["is_package"]),
+                   imports=[ImportRecord.from_dict(r)
+                            for r in d["imports"]],
+                   symbols=ModuleSymbols.from_dict(d["symbols"]),
+                   functions=ModuleFunctions.from_dict(d["functions"]))
+
+    @classmethod
+    def build(cls, tree, key: str) -> "ModuleSummary":
+        """Extract a summary from a parsed module."""
+        from .rules import ImportMap
+        from .callgraph import extract_functions
+        from .symbols import extract_symbols
+
+        name = module_name_from_key(key)
+        package = is_package_key(key)
+        imap = ImportMap(tree)
+        imports, symbols = extract_symbols(tree, name, package, imap)
+        functions = extract_functions(tree, imap)
+        return cls(key=key, name=name, is_package=package,
+                   imports=imports, symbols=symbols,
+                   functions=functions)
+
+
+@dataclass
+class Edge:
+    """One resolved project-internal import edge."""
+
+    source: str
+    target: str
+    line: int
+    col: int
+    #: symbol names imported from ``target`` ('' entry for module-only)
+    names: Tuple[str, ...]
+    typeonly: bool
+    deferred: bool
+
+    @property
+    def runtime(self) -> bool:
+        """Executed during module import (cycle-relevant)."""
+        return not (self.typeonly or self.deferred)
+
+
+class ProjectGraph:
+    """Import graph + symbol tables + call graph over one scan."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        self.paths: Dict[str, str] = {}        #: module name -> path
+        self.edges: Dict[str, List[Edge]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, summaries: List[Tuple[str, ModuleSummary]],
+              ) -> "ProjectGraph":
+        """Build from ``(path, summary)`` pairs.
+
+        When two files map to the same dotted module name (two
+        checkouts scanned together), the first wins and the duplicate
+        is ignored — resolution must stay deterministic.
+        """
+        graph = cls()
+        for path, summary in summaries:
+            if summary.name in graph.modules:
+                continue
+            graph.modules[summary.name] = summary
+            graph.paths[summary.name] = path
+        for name, summary in graph.modules.items():
+            graph.edges[name] = list(graph._resolve_imports(summary))
+        return graph
+
+    def _resolve_imports(self, summary: ModuleSummary) -> Iterator[Edge]:
+        for record in summary.imports:
+            if not record.is_from:
+                for dotted, _asname in record.names:
+                    target = self._deepest_module(dotted)
+                    if target is not None and target != summary.name:
+                        yield Edge(summary.name, target, record.line,
+                                   record.col, ("",),
+                                   record.typeonly, record.deferred)
+                continue
+            base = absolutize(record.level, record.module,
+                              summary.name, summary.is_package)
+            if base is None:
+                continue
+            module_names: Dict[str, List[str]] = {}
+            for name, _asname in record.names:
+                submodule = f"{base}.{name}" if name != "*" else None
+                if submodule is not None and submodule in self.modules:
+                    # ``from pkg import submodule`` depends on the
+                    # submodule, not (only) the package __init__.
+                    module_names.setdefault(submodule, []).append("")
+                elif base in self.modules:
+                    module_names.setdefault(base, []).append(name)
+            for target, names in module_names.items():
+                if target == summary.name:
+                    continue
+                yield Edge(summary.name, target, record.line,
+                           record.col, tuple(names),
+                           record.typeonly, record.deferred)
+
+    def _deepest_module(self, dotted: str) -> Optional[str]:
+        """Longest prefix of ``dotted`` that is a scanned module."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def runtime_edges(self) -> Iterator[Edge]:
+        for edges in self.edges.values():
+            for edge in edges:
+                if edge.runtime:
+                    yield edge
+
+    def cycles(self) -> List[List[str]]:
+        """Import cycles (SCCs of size > 1) over runtime edges.
+
+        Each cycle is rotated to start at its lexicographically
+        smallest member; the list is sorted by that member.
+        """
+        adjacency: Dict[str, List[str]] = {m: [] for m in self.modules}
+        for edge in self.runtime_edges():
+            adjacency[edge.source].append(edge.target)
+        sccs = _tarjan(adjacency)
+        cycles = []
+        for scc in sccs:
+            if len(scc) < 2:
+                continue
+            ordered = self._order_cycle(sorted(scc), adjacency)
+            cycles.append(ordered)
+        return sorted(cycles, key=lambda c: c[0])
+
+    @staticmethod
+    def _order_cycle(members: List[str],
+                     adjacency: Dict[str, List[str]]) -> List[str]:
+        """Walk the cycle from its smallest member, for display."""
+        member_set = set(members)
+        path = [members[0]]
+        seen = {members[0]}
+        current = members[0]
+        while True:
+            nexts = sorted(t for t in adjacency.get(current, ())
+                           if t in member_set and t not in seen)
+            if not nexts:
+                break
+            current = nexts[0]
+            path.append(current)
+            seen.add(current)
+        # Append any members unreachable by the greedy walk (dense SCC).
+        path.extend(m for m in members if m not in seen)
+        return path
+
+    def why(self, source: str, target: str,
+            runtime_only: bool = True) -> Optional[List[str]]:
+        """Shortest import chain from ``source`` to ``target``."""
+        if source not in self.modules or target not in self.modules:
+            return None
+        frontier = [source]
+        parents: Dict[str, Optional[str]] = {source: None}
+        while frontier:
+            nxt: List[str] = []
+            for module in frontier:
+                for edge in self.edges.get(module, ()):
+                    if runtime_only and not edge.runtime:
+                        continue
+                    if edge.target in parents:
+                        continue
+                    parents[edge.target] = module
+                    if edge.target == target:
+                        chain = [target]
+                        while chain[-1] != source:
+                            chain.append(parents[chain[-1]])
+                        return list(reversed(chain))
+                    nxt.append(edge.target)
+            frontier = nxt
+        return None
+
+    def edge_between(self, source: str,
+                     target: str) -> Optional[Edge]:
+        """The first (runtime-preferred) edge source -> target."""
+        candidates = [e for e in self.edges.get(source, ())
+                      if e.target == target]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda e: (not e.runtime, e.line))
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # Symbol + call resolution
+    # ------------------------------------------------------------------
+    def symbol_origin(self, module: str, name: str,
+                      _seen: Optional[Set[Tuple[str, str]]] = None,
+                      ) -> Tuple[str, str]:
+        """Follow re-export chains to the defining project module.
+
+        Returns the last project-internal ``(module, name)`` hop; when
+        the chain leaves the scanned tree the last known hop is
+        returned unchanged.
+        """
+        seen = _seen or set()
+        while (module, name) not in seen:
+            seen.add((module, name))
+            summary = self.modules.get(module)
+            if summary is None:
+                return module, name
+            if name in summary.symbols.defined:
+                return module, name
+            binding = summary.symbols.bindings.get(name)
+            if binding is None:
+                return module, name
+            level, raw, orig = binding
+            base = absolutize(level, raw, summary.name,
+                              summary.is_package)
+            if base is None:
+                return module, name
+            submodule = f"{base}.{orig}"
+            if submodule in self.modules:
+                # The binding is a submodule, not a symbol.
+                return module, name
+            if base not in self.modules:
+                return module, name
+            module, name = base, orig
+        return module, name
+
+    def resolve_call(self, caller_module: str,
+                     callee: str) -> Optional[FunctionInfo]:
+        """Resolve an encoded call-site reference to a project function.
+
+        Handles plain functions, ``self`` method calls and class
+        instantiation (resolving to ``Class.__init__``).  Returns None
+        whenever the target is external or ambiguous.
+        """
+        kind, _, spec = callee.partition(":")
+        if kind == "self":
+            return self._lookup_function(caller_module, spec)
+        if kind == "local":
+            module, name = self.symbol_origin(caller_module, spec)
+            return self._lookup_function(module, name)
+        if kind == "dotted":
+            module = self._deepest_module(spec)
+            if module is None:
+                return None
+            rest = spec[len(module):].lstrip(".")
+            if not rest or "." in rest:
+                return None
+            module, name = self.symbol_origin(module, rest)
+            return self._lookup_function(module, name)
+        return None
+
+    def _lookup_function(self, module: str,
+                         name: str) -> Optional[FunctionInfo]:
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        info = summary.functions.functions.get(name)
+        if info is not None:
+            return info
+        klass = summary.functions.classes.get(name)
+        if klass is not None and klass.init_params is not None:
+            return summary.functions.functions.get(f"{name}.__init__")
+        return None
+
+    # ------------------------------------------------------------------
+    # Symbol-use index (REP603)
+    # ------------------------------------------------------------------
+    def symbol_uses(self) -> Set[Tuple[str, str]]:
+        """Every ``(module, name)`` imported or referenced by *another*
+        scanned module.
+
+        Uses are attributed to the direct import target (no chain
+        following): a facade's re-export counts as the facade's own use
+        of the origin, so a symbol whose only importer is a facade goes
+        dead exactly when the facade stops importing it.
+        """
+        uses: Set[Tuple[str, str]] = set()
+        for name, summary in self.modules.items():
+            for edge in self.edges.get(name, ()):
+                for symbol in edge.names:
+                    if symbol:
+                        uses.add((edge.target, symbol))
+            for level, raw in summary.symbols.stars:
+                base = absolutize(level, raw, summary.name,
+                                  summary.is_package)
+                target = self.modules.get(base) if base else None
+                if target is not None and target.name != name:
+                    for exported in (target.symbols.exports or ()):
+                        uses.add((base, exported))
+            for dotted in summary.symbols.attr_refs:
+                module = self._deepest_module(dotted)
+                if module is None or module == name:
+                    continue
+                rest = dotted[len(module):].lstrip(".")
+                if rest:
+                    uses.add((module, rest.split(".")[0]))
+        return uses
+
+
+def _tarjan(adjacency: Dict[str, List[str]]) -> List[List[str]]:
+    """Iterative Tarjan SCC (recursion-free for deep graphs)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = adjacency.get(node, ())
+            for offset in range(child_index, len(children)):
+                child = children[offset]
+                if child not in index:
+                    work[-1] = (node, offset + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .findings import AnalysisResult, Finding, Severity
-from .rules import RULES
+from .rules import GRAPH_RULES, RULES
 
 SARIF_VERSION = "2.1.0"
 _TOOL_NAME = "repro-lint"
@@ -29,6 +29,9 @@ def render_text(result: AnalysisResult,
         f"{len(result.errors)} error(s), "
         f"{len(result.warnings)} warning(s), "
         f"{noqa} noqa-suppressed, {baselined} baselined")
+    if result.cache_hits or result.cache_misses:
+        out.append(f"incremental cache: {result.cache_hits} hit(s), "
+                   f"{result.cache_misses} file(s) re-analyzed")
     for fingerprint in result.stale_baseline:
         out.append(f"stale baseline entry: {fingerprint} "
                    f"(run with --write-baseline to prune)")
@@ -41,6 +44,8 @@ def render_json(result: AnalysisResult) -> Dict[str, object]:
         "files_scanned": result.files_scanned,
         "errors": len(result.errors),
         "warnings": len(result.warnings),
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
         "findings": [f.to_dict() for f in result.findings],
         "stale_baseline": list(result.stale_baseline),
     }
@@ -74,13 +79,14 @@ def render_sarif(result: AnalysisResult) -> Dict[str, object]:
     Suppressed findings are omitted — SARIF consumers (code-scanning
     UIs) should only see what currently fails the gate.
     """
+    catalog = {**RULES, **GRAPH_RULES}
     rules = [{
         "id": rule_id,
         "name": cls.title,
         "shortDescription": {"text": cls.title},
         "fullDescription": {"text": cls.description},
         "defaultConfiguration": {"level": _sarif_level(cls.severity)},
-    } for rule_id, cls in sorted(RULES.items())]
+    } for rule_id, cls in sorted(catalog.items())]
     return {
         "$schema": ("https://json.schemastore.org/sarif-"
                     f"{SARIF_VERSION}.json"),

@@ -525,3 +525,229 @@ class AllCoverageRule(Rule):
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, in id order."""
     return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+# ----------------------------------------------------------------------
+# REP6xx: whole-program rules (import graph / layering / dataflow)
+# ----------------------------------------------------------------------
+#: ``(module_name, line, col, message)`` yielded by graph rules.
+RawGraphFinding = Tuple[str, int, int, str]
+
+
+class GraphRule:
+    """Whole-program rule: checks the project graph, not one module.
+
+    Graph rules run after every file's summary is available (fresh or
+    replayed from the incremental cache) and may relate any module to
+    any other.  ``check_project`` yields findings keyed by dotted
+    module name; the engine maps them back to paths and applies the
+    same noqa/baseline suppression channels as per-file rules.
+    """
+
+    id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check_project(self, project: "ProjectGraph",
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        raise NotImplementedError
+
+
+GRAPH_RULES: Dict[str, Type[GraphRule]] = {}
+
+
+def register_graph(cls: Type[GraphRule]) -> Type[GraphRule]:
+    if cls.id in GRAPH_RULES or cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    GRAPH_RULES[cls.id] = cls
+    return cls
+
+
+def _layer_rank(key: str,
+                ranks: Dict[str, int]) -> Optional[int]:
+    """Rank of the longest matching key prefix, if any."""
+    best: Optional[Tuple[int, int]] = None
+    for prefix, rank in ranks.items():
+        if key == prefix or key.startswith(prefix):
+            if best is None or len(prefix) > best[0]:
+                best = (len(prefix), rank)
+    return best[1] if best else None
+
+
+@register_graph
+class ImportCycleRule(GraphRule):
+    """Import cycles make initialisation order a load-bearing accident."""
+
+    id = "REP601"
+    title = "import-cycle"
+    severity = Severity.ERROR
+    description = (
+        "modules in an import cycle initialise in whatever order the "
+        "first importer happened to trigger — re-export shims and "
+        "partially-initialised modules follow.  Break the cycle by "
+        "moving the shared piece down a layer.  Type-only "
+        "(TYPE_CHECKING) and function-deferred imports are exempt: "
+        "they cannot create import-time circularity.")
+
+    def check_project(self, project: "ProjectGraph",
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        for cycle in project.cycles():
+            edge = project.edge_between(cycle[0],
+                                        cycle[1 % len(cycle)])
+            line, col = (edge.line, edge.col) if edge else (1, 0)
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield (cycle[0], line, col,
+                   f"import cycle: {chain}")
+
+
+@register_graph
+class LayeringRule(GraphRule):
+    """Imports must respect the declared layer DAG (and facades)."""
+
+    id = "REP602"
+    title = "layering"
+    severity = Severity.ERROR
+    description = (
+        "the layer contract (analysis.config.LAYER_RANKS: nn/index/"
+        "noise/datasets -> core -> baselines/eval -> datalake -> "
+        "experiments/cli, with obs/analysis importable everywhere) "
+        "keeps low layers reusable and the dependency graph acyclic "
+        "by construction; importing upward, or importing a symbol "
+        "through a compatibility facade instead of its canonical "
+        "home, violates it.")
+
+    def check_project(self, project: "ProjectGraph",
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        ranks = config.layer_ranks
+        for module, summary in sorted(project.modules.items()):
+            source_rank = _layer_rank(summary.key, ranks)
+            for edge in project.edges.get(module, ()):
+                target = project.modules.get(edge.target)
+                if target is None:
+                    continue
+                yield from self._check_facades(module, edge, config)
+                if edge.typeonly or source_rank is None:
+                    continue
+                target_rank = _layer_rank(target.key, ranks)
+                if target_rank is None or target_rank <= source_rank:
+                    continue
+                yield (module, edge.line, edge.col,
+                       f"layering violation: {summary.key} (layer "
+                       f"{source_rank}) imports {target.key} (layer "
+                       f"{target_rank}); dependencies must point "
+                       f"down the layer DAG")
+
+    @staticmethod
+    def _check_facades(module: str, edge, config: AnalysisConfig,
+                       ) -> Iterator[RawGraphFinding]:
+        for symbol in edge.names:
+            if not symbol:
+                continue
+            canonical = config.facade_imports.get(
+                f"{edge.target}:{symbol}")
+            if canonical is None or module == canonical:
+                continue
+            yield (module, edge.line, edge.col,
+                   f"{symbol!r} is imported through the "
+                   f"{edge.target} compatibility facade; inside the "
+                   f"library import it from {canonical}")
+
+
+@register_graph
+class DeadExportRule(GraphRule):
+    """Public exports nobody imports are API surface without users."""
+
+    id = "REP603"
+    title = "dead-export"
+    severity = Severity.WARNING
+    description = (
+        "a name listed in a module's __all__ that no other scanned "
+        "module imports or references is dead public API — it rots "
+        "silently and widens the compatibility surface for free.  "
+        "Delete it, underscore it, or grandfather it in the baseline "
+        "with a justification (package __init__ re-export hubs are "
+        "exempt; references from tests don't count as use).")
+
+    def check_project(self, project: "ProjectGraph",
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        uses = project.symbol_uses()
+        for module, summary in sorted(project.modules.items()):
+            if summary.is_package:
+                continue
+            exports = summary.symbols.exports
+            if not exports:
+                continue
+            for name in exports:
+                if (module, name) in uses:
+                    continue
+                yield (module, summary.symbols.exports_line,
+                       summary.symbols.exports_col,
+                       f"public symbol {name!r} is exported in "
+                       f"__all__ but never imported or referenced by "
+                       f"another scanned module")
+
+
+@register_graph
+class RngThreadingRule(GraphRule):
+    """A held Generator must be threaded into every RNG consumer."""
+
+    id = "REP604"
+    title = "rng-threading"
+    severity = Severity.ERROR
+    description = (
+        "a function that accepts or creates a seeded Generator but "
+        "calls a project function that declares an optional rng-like "
+        "parameter without binding it silently splits the random "
+        "stream: the callee falls back to its own default and the "
+        "caller's seed no longer controls the draw (call-graph-aware "
+        "extension of REP102).  Pass the Generator through, or noqa "
+        "with a justification when the callee's randomness is "
+        "deliberately independent.")
+
+    def check_project(self, project: "ProjectGraph",
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        rng_names = config.rng_param_names
+        for module, summary in sorted(project.modules.items()):
+            for function in summary.functions.functions.values():
+                if not function.holds_rng:
+                    continue
+                for call in function.calls:
+                    callee = project.resolve_call(module, call.callee)
+                    if callee is None:
+                        continue
+                    param = self._unbound_rng_param(
+                        call, callee, rng_names)
+                    if param is None:
+                        continue
+                    yield (module, call.line, call.col,
+                           f"{function.qualname} holds a Generator "
+                           f"but calls {callee.qualname}() without "
+                           f"binding its optional {param!r} "
+                           f"parameter; thread the rng through")
+
+    @staticmethod
+    def _unbound_rng_param(call, callee,
+                           rng_names: Tuple[str, ...]) -> Optional[str]:
+        if call.has_star or call.has_kwstar:
+            return None            # may bind it dynamically
+        for name in rng_names:
+            index = callee.param_index(name)
+            if index is None or not callee.params[index].has_default:
+                continue
+            if name in call.kwnames:
+                continue
+            if call.npos > index:
+                continue
+            return name
+        return None
+
+
+def all_graph_rules() -> List[GraphRule]:
+    """Fresh instances of every registered graph rule, in id order."""
+    return [GRAPH_RULES[rule_id]() for rule_id in sorted(GRAPH_RULES)]

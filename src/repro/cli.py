@@ -10,6 +10,8 @@ Usage::
     python -m repro trace --baseline benchmarks/baselines/trace_smoke.json
     python -m repro chaos --fail-stage iteration --fail-stage vote
     python -m repro lint src --format sarif
+    python -m repro deps --cycles
+    python -m repro deps --why repro.core.enld repro.nn.train
 
 ``run`` executes one of the paper's figure/table drivers and prints the
 paper-style table; ``demo`` runs a minimal end-to-end detection;
@@ -424,7 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.set_defaults(fn=cmd_chaos, fail_stage=None)
 
     from .analysis.cli import add_parser as add_lint_parser
+    from .analysis.deps import add_parser as add_deps_parser
     add_lint_parser(sub)
+    add_deps_parser(sub)
     return parser
 
 
