@@ -3,7 +3,7 @@
 PYTHON ?= python3
 
 .PHONY: install test bench report examples lint analyze graph \
-	analyze-smoke typecheck trace-smoke chaos-smoke clean
+	analyze-smoke typecheck trace-smoke bench-hotpath chaos-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -66,6 +66,11 @@ trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro trace --quiet \
 		-o trace_smoke.json \
 		--baseline benchmarks/baselines/trace_smoke.json
+
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) -m repro bench-hotpath \
+		--trace-out hotpath_trace.json \
+		--baseline benchmarks/baselines/hotpath_smoke.json
 
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q \

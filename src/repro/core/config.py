@@ -28,6 +28,18 @@ class ENLDConfig:
     use_probability_label: bool = True    # False → ENLD-4
     use_kdtree: bool = True
 
+    # -- hot path: index facade + feature caching (DESIGN.md §11) --------
+    #: "auto" lets repro.index.facade pick the fastest exact backend per
+    #: class; any concrete name ("kdtree", "balltree", "brute") pins it.
+    #: All backends return identical neighbour sets, so this knob moves
+    #: wall-clock only, never verdicts.
+    index_backend: str = "auto"
+    #: Memoise (probs, features) of the general model over the inventory
+    #: candidates across arrivals, keyed on weight + data digests.
+    feature_cache: bool = True
+    #: LRU entry budget of the feature cache (0 disables storage).
+    feature_cache_entries: int = 8
+
     # -- fine-grained detection (Alg. 3) ---------------------------------
     iterations: int = 5                   # t
     steps_per_iteration: int = 5          # s
@@ -70,11 +82,27 @@ class ENLDConfig:
             raise ValueError("inventory_train_fraction must be in (0, 1)")
         if self.mixup_alpha is not None and self.mixup_alpha <= 0:
             raise ValueError("mixup_alpha must be positive or None")
+        if self.index_backend not in ("auto", "kdtree", "balltree", "brute"):
+            raise ValueError(
+                f"index_backend must be 'auto', 'kdtree', 'balltree' or "
+                f"'brute', got {self.index_backend!r}")
+        if self.feature_cache_entries < 0:
+            raise ValueError("feature_cache_entries must be non-negative")
 
     @property
     def majority_threshold(self) -> int:
         """Votes needed for clean selection: ``⌊s/2⌋ + 1`` (§IV-E)."""
         return self.steps_per_iteration // 2 + 1
+
+    @property
+    def effective_index_backend(self) -> str:
+        """Backend handed to the index facade.
+
+        The legacy ``use_kdtree=False`` switch (the paper's brute-force
+        ablation) wins over ``index_backend`` so historical configs
+        keep their meaning.
+        """
+        return self.index_backend if self.use_kdtree else "brute"
 
     def with_overrides(self, **kwargs: Any) -> "ENLDConfig":
         """Copy of this config with the given fields replaced."""

@@ -92,21 +92,28 @@ def contrastive_sampling(ambiguous_features: np.ndarray,
     else:
         targets = ambiguous_labels.copy()
 
-    chosen: list = []
-    for feature, target in zip(ambiguous_features, targets):
-        _, idx = index.query(feature, int(target), k)
+    # One batched lookup answers every ambiguous sample: rows are
+    # grouped by target class inside the index, so each class costs a
+    # single backend call.  Results come back in row order, so the
+    # selected multiset is identical to per-row querying.
+    results = index.query_batch(ambiguous_features, targets, k)
+    per_row: list = []
+    for row, (_, idx) in enumerate(results):
         if idx.size == 0:
             # ENLD-4 may target a class absent from H'; fall back to the
             # nearest populated class so the ambiguous sample still gets
-            # contrastive supervision.
+            # contrastive supervision.  Drawing per row (in row order)
+            # keeps the RNG stream identical to the historical
+            # per-sample loop.
             fallback = int(available[rng.integers(len(available))])
-            _, idx = index.query(feature, fallback, k)
+            _, idx = index.query(ambiguous_features[row], fallback, k)
             incr("contrastive.fallback_queries")
-        chosen.extend(int(i) for i in idx)
+        per_row.append(np.asarray(idx, dtype=int))
+    chosen = (np.concatenate(per_row) if per_row
+              else np.empty(0, dtype=int))
     incr("contrastive.ambiguous_queried", len(ambiguous_labels))
     incr("contrastive.samples_selected", len(chosen))
-    return ContrastiveSample(indices=np.array(chosen, dtype=int),
-                             target_labels=targets)
+    return ContrastiveSample(indices=chosen, target_labels=targets)
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..index.classindex import ClassFeatureIndex
 from ..nn.data import LabeledDataset
+from ..nn.featurecache import FeatureCache
 from ..nn.models import Classifier
 from ..nn.optim import SGD
 from ..nn.serialize import clone_module
@@ -104,13 +105,17 @@ class FineGrainedDetector:
     def detect(self, model: Classifier, dataset: LabeledDataset,
                candidates: LabeledDataset, cond_prob: np.ndarray,
                rng: np.random.Generator,
-               dataset_view: Optional[ModelView] = None
+               dataset_view: Optional[ModelView] = None,
+               cache: Optional[FeatureCache] = None
                ) -> DetectionResult:
         """Run fine-grained detection of ``dataset`` against ``model``.
 
         ``model`` is never mutated; fine-tuning happens on a clone.
         ``candidates`` is the full ``I_c``; restriction to ``label(D)``
-        (the paper's ``I'``) happens internally.
+        (the paper's ``I'``) happens internally.  ``cache`` memoises
+        the initial view of ``I'`` under ``θ`` across arrivals (the
+        per-iteration views under ``θ'`` are never cached — the clone's
+        weights change every step).
         """
         cfg = self.config
         num_classes = model.num_classes
@@ -125,10 +130,12 @@ class FineGrainedDetector:
         theta = clone_module(model)
         train_samples = 0
 
-        # Initial views under θ.
+        # Initial views under θ.  The pool view is the cacheable one:
+        # θ and I_c only change on an Alg. 4 refresh, so arrivals with
+        # a recurring label set re-use the stored forward pass.
         with trace_span("initial_views"):
             d_view = dataset_view or compute_view(theta, dataset)
-            pool_view = compute_view(theta, pool)
+            pool_view = compute_view(theta, pool, cache=cache)
             a_mask = ambiguous_mask(dataset, d_view)
             hq_mask = high_quality_mask(
                 pool, pool_view,
@@ -163,10 +170,12 @@ class FineGrainedDetector:
         missing = ~labeled
         trace: List[IterationSnapshot] = []
 
+        flat_d = dataset.flat_x()
         for iteration in range(cfg.iterations):
-            count = np.zeros(n, dtype=int)
+            steps = cfg.steps_per_iteration
+            step_preds = np.empty((steps, n), dtype=np.int64)
             with trace_span("iteration"):
-                for _ in range(cfg.steps_per_iteration):
+                for step in range(steps):
                     if len(contrast):
                         with trace_span("fine_tune"):
                             _, n_trained = fit_epoch(
@@ -175,20 +184,34 @@ class FineGrainedDetector:
                                 num_classes=num_classes)
                         train_samples += n_trained
                     with trace_span("vote"):
-                        preds = theta.predict(dataset.flat_x())
-                        agree = (preds == dataset.y) & labeled
-                        count += agree
-                        if cfg.use_majority_voting:
-                            newly = agree & (count >= cfg.majority_threshold)
-                        else:
-                            newly = agree  # ENLD-2: aggressive selection
-                        clean_mask |= newly
+                        step_preds[step] = theta.predict(flat_d)
                     incr("detector.vote_rounds")
-                    observe("detector.vote_agreement_rate",
-                            float(agree.sum()) / max(int(labeled.sum()), 1))
+
+                # Fused vote accumulation: the per-step vote bookkeeping
+                # collapses into epoch-level array ops.  A sample is
+                # selected clean iff some step both agreed and had
+                # reached the majority threshold — with a running count
+                # that is exactly ``agree & (cumsum >= threshold)``
+                # anywhere, because the count is monotone within the
+                # iteration.  Bit-identical to the per-step updates.
+                with trace_span("vote_fuse"):
+                    agree_steps = ((step_preds == dataset.y[None, :])
+                                   & labeled[None, :])
+                    cum = np.cumsum(agree_steps, axis=0)
+                    if cfg.use_majority_voting:
+                        newly = agree_steps & (cum >= cfg.majority_threshold)
+                    else:
+                        newly = agree_steps  # ENLD-2: aggressive selection
+                    clean_mask |= newly.any(axis=0)
+                    denom = max(int(labeled.sum()), 1)
+                    for step in range(steps):
+                        observe("detector.vote_agreement_rate",
+                                float(agree_steps[step].sum()) / denom)
                     if missing.any():
                         rows = np.nonzero(missing)[0]
-                        pseudo_votes[rows, preds[rows]] += 1
+                        np.add.at(pseudo_votes,
+                                  (np.tile(rows, steps),
+                                   step_preds[:, rows].ravel()), 1)
 
                 # End-of-iteration updates (Alg. 3 lines 15–21).
                 with trace_span("recompute_views"):
@@ -248,7 +271,7 @@ class FineGrainedDetector:
         hq_positions = np.nonzero(hq_mask)[0]
         hq_index = ClassFeatureIndex(
             pool_view.features[hq_positions], pool.y[hq_positions],
-            use_kdtree=self.config.use_kdtree,
+            backend=self.config.effective_index_backend,
             source_indices=hq_positions)
         request = SamplingRequest(
             candidate_view=pool_view,

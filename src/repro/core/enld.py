@@ -19,11 +19,13 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..index.classindex import ClassFeatureIndex
 from ..nn.data import LabeledDataset, train_test_split
+from ..nn.featurecache import FeatureCache
 from ..nn.models import Classifier, build_model
 from ..nn.train import fit
 from ..obs import Stopwatch, Tracer, trace_span, use_tracer
@@ -57,6 +59,15 @@ class ENLD:
         self._clean_candidate_positions: Set[int] = set()
         self._rng = np.random.default_rng(self.config.seed)
         self._detector = FineGrainedDetector(self.config)
+        # Hot-path state (DESIGN.md §11): memoised forward passes of θ
+        # over I', and an incrementally maintained per-class index over
+        # the accumulated S_c.  Both are derived state — never
+        # checkpointed, rebuilt on demand after a restore or refresh.
+        self.feature_cache: Optional[FeatureCache] = (
+            FeatureCache(self.config.feature_cache_entries)
+            if self.config.feature_cache else None)
+        self._clean_index: Optional[ClassFeatureIndex] = None
+        self._clean_indexed: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Step 0: model initialisation & probability estimation (§IV-B)
@@ -109,10 +120,12 @@ class ENLD:
         with watch, use_tracer(self.tracer), trace_span("detect"):
             result = self._detector.detect(
                 self.model, dataset, self.inventory_candidates,
-                self.cond_prob, self._rng)
+                self.cond_prob, self._rng, cache=self.feature_cache)
         result.process_seconds = watch.seconds
         self._clean_candidate_positions.update(
             int(p) for p in result.inventory_clean_positions)
+        if self._clean_index is not None:
+            self._extend_clean_index()
         self.results.append(result)
         return result
 
@@ -142,7 +155,81 @@ class ENLD:
         self.setup_train_samples += outcome.train_samples
         # Clean-position bookkeeping referred to the old I_c; reset it.
         self._clean_candidate_positions.clear()
+        self._reset_derived_state()
         return self
+
+    # ------------------------------------------------------------------
+    # Clean-inventory queries (incremental index over S_c)
+    # ------------------------------------------------------------------
+    def clean_index(self) -> Optional[ClassFeatureIndex]:
+        """Per-class index over ``S_c`` features under the current ``θ``.
+
+        Built lazily; afterwards each :meth:`detect` *appends* its newly
+        voted-clean candidates via :meth:`ClassFeatureIndex.add` instead
+        of rebuilding.  A model refresh (Alg. 4) drops the index — the
+        feature space changed — and the next call rebuilds it.  Returns
+        ``None`` while ``S_c`` is empty.
+        """
+        self._require_initialized()
+        if not self._clean_candidate_positions:
+            return None
+        if self._clean_index is None:
+            positions = np.array(sorted(self._clean_candidate_positions),
+                                 dtype=int)
+            feats = self._candidate_features()
+            assert self.inventory_candidates is not None
+            self._clean_index = ClassFeatureIndex(
+                feats[positions], self.inventory_candidates.y[positions],
+                backend=self.config.effective_index_backend,
+                source_indices=positions)
+            self._clean_indexed = set(int(p) for p in positions)
+        return self._clean_index
+
+    def nearest_clean(self, feature: np.ndarray, label: int, k: int = 1
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """``k`` nearest accumulated-clean samples of class ``label``.
+
+        ``feature`` is a raw sample (any shape); it is flattened and
+        embedded with the current ``θ`` before querying.  Returns
+        ``(distances, candidate_positions)`` — positions index rows of
+        ``I_c``.  Empty arrays when ``S_c`` has no such class yet.
+        """
+        index = self.clean_index()
+        if index is None:
+            return np.empty(0), np.empty(0, dtype=int)
+        assert self.model is not None
+        x = np.asarray(feature, dtype=np.float64).reshape(1, -1)
+        embedded = self.model.predict_view(x)[1][0]
+        return index.query(embedded, int(label), k)
+
+    def _extend_clean_index(self) -> None:
+        """Append newly voted-clean candidates to the live ``S_c`` index."""
+        assert self._clean_index is not None
+        assert self.inventory_candidates is not None
+        new = sorted(self._clean_candidate_positions - self._clean_indexed)
+        if not new:
+            return
+        positions = np.array(new, dtype=int)
+        feats = self._candidate_features()
+        self._clean_index.add(
+            feats[positions], self.inventory_candidates.y[positions],
+            source_indices=positions)
+        self._clean_indexed.update(new)
+
+    def _candidate_features(self) -> np.ndarray:
+        """``M̂(I_c, θ)``, via the feature cache when enabled."""
+        assert self.model is not None and self.inventory_candidates is not None
+        x = self.inventory_candidates.flat_x()
+        if self.feature_cache is not None:
+            return self.feature_cache.view(self.model, x)[1]
+        return self.model.predict_view(x)[1]
+
+    def _reset_derived_state(self) -> None:
+        """Drop caches/indexes keyed on the previous ``θ`` or ``I_c``."""
+        if self.feature_cache is not None:
+            self.feature_cache.invalidate()
+        self._clean_index = None
+        self._clean_indexed = set()
 
     # ------------------------------------------------------------------
     # Crash-safe state export / import (platform checkpointing)
@@ -213,6 +300,7 @@ class ENLD:
             self.num_classes, rng=self._rng, **self.config.model_kwargs)
         self._rng = np.random.default_rng(self.config.seed)
         self._rng.bit_generator.state = state["rng_state"]
+        self._reset_derived_state()
         return self
 
     # ------------------------------------------------------------------

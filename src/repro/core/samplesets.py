@@ -11,10 +11,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..nn.data import LabeledDataset
+from ..nn.featurecache import FeatureCache
 from ..nn.models import Classifier
 from ..noise.injector import MISSING_LABEL
 
@@ -48,11 +50,21 @@ class ModelView:
 
 
 def compute_view(model: Classifier, dataset: LabeledDataset,
-                 batch_size: int = 256) -> ModelView:
-    """Evaluate ``M`` and ``M̂`` for every sample of ``dataset``."""
+                 batch_size: int = 256,
+                 cache: Optional[FeatureCache] = None) -> ModelView:
+    """Evaluate ``M`` and ``M̂`` for every sample of ``dataset``.
+
+    Both views come from one fused forward pass
+    (:meth:`Classifier.predict_view`); with a :class:`FeatureCache`,
+    repeated evaluations of the same data under the same weights skip
+    the forward pass entirely.  Outputs are bit-identical either way.
+    """
     x = dataset.flat_x()
-    return ModelView(probs=model.predict_proba(x, batch_size=batch_size),
-                     features=model.features(x, batch_size=batch_size))
+    if cache is not None:
+        probs, features = cache.view(model, x, batch_size=batch_size)
+    else:
+        probs, features = model.predict_view(x, batch_size=batch_size)
+    return ModelView(probs=probs, features=features)
 
 
 def ambiguous_mask(dataset: LabeledDataset, view: ModelView) -> np.ndarray:

@@ -420,6 +420,23 @@ class NoisyLabelPlatform:
                            dtype=bool, count=len(dataset))
         return dataset.mask(mask, name=f"{dataset_name}/clean")
 
+    def similar_clean(self, sample: np.ndarray, label: int, k: int = 1
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """``k`` accumulated-clean inventory samples most similar to
+        ``sample`` among those labelled ``label``.
+
+        Similarity is distance in the general model's feature space.
+        Returns ``(distances, ids)`` where ids are inventory sample
+        ids; empty arrays while no clean samples of that class exist.
+        Served by the incrementally maintained ``S_c`` index — arrivals
+        append to it, model refreshes rebuild it lazily.
+        """
+        dists, positions = self.enld.nearest_clean(sample, label, k=k)
+        if positions.size == 0:
+            return dists, positions
+        ids = self.enld.inventory_candidates.ids[positions]
+        return dists, np.asarray(ids, dtype=int)
+
     def noisy_subset(self, dataset_name: str) -> LabeledDataset:
         """The flagged-noisy rows of a processed arrival, by id."""
         dataset = self.catalog.get_arrival(dataset_name)
@@ -443,6 +460,14 @@ class NoisyLabelPlatform:
         report["degraded_submissions"] = self.degraded_submissions
         report["quarantined_submissions"] = self.quarantined_submissions
         report["retries"] = self.retries_total
+        # Configuration only: live cache counters are process-local
+        # (not checkpointed) and flow through the tracer instead, so a
+        # resumed platform reports identically to the original.
+        report["hotpath"] = {
+            "index_backend": self.enld.config.effective_index_backend,
+            "feature_cache_enabled": self.enld.feature_cache is not None,
+            "feature_cache_entries": self.enld.config.feature_cache_entries,
+        }
         if self.trace_enabled:
             traces = ([self.setup_trace] if self.setup_trace else []) \
                 + self._submission_traces

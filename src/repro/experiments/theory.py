@@ -23,7 +23,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..index.classindex import ClassFeatureIndex
-from ..index.kdtree import KDTree
+from ..index.facade import build_backend
 from ..nn.data import LabeledDataset
 from ..nn.serialize import clone_module
 from ..nn.train import evaluate_loss, fit
@@ -50,11 +50,12 @@ def _pick_additions(strategy: str, test: LabeledDataset,
                          replace=False)
         chosen = candidates.subset(idx)
     elif strategy == "nearest_only":
-        tree = KDTree(cand_features)
-        idx = np.array([tree.query(f, k=1)[1][0] for f in test_features])
-        chosen = candidates.subset(idx)
+        tree = build_backend(cand_features)
+        _, nearest = tree.query_batch(test_features, k=1)
+        chosen = candidates.subset(nearest[:, 0])
     elif strategy == "nearest_related":
-        index = ClassFeatureIndex(cand_features, candidates.true_y)
+        index = ClassFeatureIndex(cand_features, candidates.true_y,
+                                  backend="auto")
         picks: List[int] = []
         for f, true_label in zip(test_features, test.y):
             _, pos = index.query(f, int(true_label), k=1)

@@ -1,8 +1,18 @@
-"""``repro.index`` — nearest-neighbour index structures."""
+"""``repro.index`` — nearest-neighbour index structures.
+
+New callers should go through :mod:`repro.index.facade`
+(:func:`build_backend` with ``backend="auto"``) or
+:class:`ClassFeatureIndex` rather than constructing a concrete tree —
+the facade picks the fastest exact backend for the data shape and keeps
+results bit-identical across backends.
+"""
 
 from .balltree import BallTree
 from .classindex import BACKENDS, ClassFeatureIndex, build_index
+from .facade import (AUTO, BruteIndex, build_backend, resolve_backend,
+                     select_backend)
 from .kdtree import KDTree, brute_force_knn
 
-__all__ = ["KDTree", "BallTree", "brute_force_knn",
-           "ClassFeatureIndex", "build_index", "BACKENDS"]
+__all__ = ["KDTree", "BallTree", "BruteIndex", "brute_force_knn",
+           "ClassFeatureIndex", "build_index", "BACKENDS", "AUTO",
+           "build_backend", "resolve_backend", "select_backend"]

@@ -125,7 +125,12 @@ class BallTree:
             if self._leaf_start[node] >= 0:
                 idx = self._order[self._leaf_start[node]:
                                   self._leaf_stop[node]]
-                dists = np.linalg.norm(self.points[idx] - point, axis=1)
+                # Same square-sum form as the kd-tree leaves and the
+                # brute refinement pass (norm's pairwise reduction
+                # rounds differently), keeping returned distances
+                # bit-identical across backends.
+                diffs = self.points[idx] - point
+                dists = np.sqrt(np.einsum("nd,nd->n", diffs, diffs))
                 for dist, i in zip(dists, idx):
                     if len(heap) < k:
                         heapq.heappush(heap, (-dist, int(i)))

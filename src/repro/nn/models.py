@@ -91,6 +91,36 @@ class Classifier(Module):
         """Penultimate representation ``M̂(x, θ)`` for each row of ``x``."""
         return self._batched(x, self.forward_features, batch_size)
 
+    def predict_view(self, x: np.ndarray, batch_size: int = 256
+                     ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(M(x, θ), M̂(x, θ))`` sharing one forward pass.
+
+        ENLD needs both views of the same inputs on every arrival;
+        calling :meth:`predict_proba` and :meth:`features` separately
+        runs the body twice.  This fused path computes the features
+        once and applies only the linear head on top, halving inference
+        cost while producing bit-identical outputs (softmax and head
+        are row-wise, so batching does not affect values).
+        """
+        was_training = self.training
+        self.eval()
+        probs_out: List[np.ndarray] = []
+        feats_out: List[np.ndarray] = []
+        try:
+            for start in range(0, len(x), batch_size):
+                feats = self.forward_features(Tensor(x[start:start + batch_size]))
+                logits = self.head(feats).data
+                shifted = logits - logits.max(axis=1, keepdims=True)
+                exp = np.exp(shifted)
+                probs_out.append(exp / exp.sum(axis=1, keepdims=True))
+                feats_out.append(feats.data)
+        finally:
+            if was_training:
+                self.train()
+        if not probs_out:
+            return np.empty((0, self.num_classes)), np.empty((0, self.feature_dim))
+        return np.concatenate(probs_out), np.concatenate(feats_out)
+
 
 class MLPClassifier(Classifier):
     """Plain feed-forward classifier with two hidden layers."""

@@ -1,0 +1,112 @@
+"""The hot-path A/B bench harness and its perf-bench gate logic."""
+
+import numpy as np
+import pytest
+
+from repro.core.samplesets import compute_view
+from repro.experiments.hotpath import (HOTPATH_SPEEDUP_FLOOR,
+                                       baseline_payload,
+                                       format_hotpath_report, gate_hotpath,
+                                       run_hotpath_bench, seed_cost_structure)
+from repro.nn.models import build_model
+
+
+def _result(**overrides):
+    base = {
+        "meta": {"seed": 11},
+        "legacy": {"setup_seconds": 1.0, "arrival_seconds": [0.5, 0.4],
+                   "mean_arrival_seconds": 0.4},
+        "hot": {"setup_seconds": 1.0, "arrival_seconds": [0.2, 0.1],
+                "mean_arrival_seconds": 0.1, "feature_cache": None},
+        "speedup": 4.0,
+        "verdicts_identical": True,
+        "stage_seconds": {},
+        "trace": {"spans": {}, "counters": {}},
+        "counters": {"classindex.queries": 100},
+        "fig12": {"4": {"kdtree_seconds": 0.4, "brute_seconds": 0.01,
+                        "speedup": 40.0}},
+    }
+    base.update(overrides)
+    return base
+
+
+def _baseline():
+    return baseline_payload(_result())
+
+
+class TestGate:
+    def test_passes_on_matching_run(self):
+        assert gate_hotpath(_result(), _baseline()) == []
+
+    def test_flags_verdict_mismatch(self):
+        violations = gate_hotpath(_result(verdicts_identical=False),
+                                  _baseline())
+        assert any("verdict parity" in v for v in violations)
+
+    def test_flags_floor_breach(self):
+        violations = gate_hotpath(_result(speedup=2.0), _baseline())
+        assert any("floor" in v for v in violations)
+
+    def test_flags_regression_from_baseline(self):
+        baseline = _baseline()
+        baseline["speedup"] = 8.0
+        violations = gate_hotpath(_result(speedup=4.0), baseline)
+        assert any("regressed" in v for v in violations)
+
+    def test_tolerates_small_speedup_drift(self):
+        baseline = _baseline()
+        baseline["speedup"] = 4.4
+        assert gate_hotpath(_result(speedup=4.0), baseline) == []
+
+    def test_flags_counter_drift(self):
+        violations = gate_hotpath(
+            _result(counters={"classindex.queries": 10}), _baseline())
+        assert any("classindex.queries" in v for v in violations)
+
+    def test_flags_fig12_inversion(self):
+        result = _result()
+        result["fig12"]["4"]["speedup"] = 0.5
+        violations = gate_hotpath(result, _baseline())
+        assert any("fig12" in v for v in violations)
+
+    def test_baseline_payload_carries_floor(self):
+        assert _baseline()["floor"] == HOTPATH_SPEEDUP_FLOOR
+
+
+class TestHarness:
+    def test_seed_cost_structure_restores(self):
+        before = compute_view
+        import repro.core.detector as det
+        with seed_cost_structure():
+            assert det.compute_view is not before
+        assert det.compute_view is before
+
+    def test_twopass_matches_fused(self):
+        from repro.experiments.hotpath import _twopass_view
+        from repro.nn.data import LabeledDataset
+
+        rng = np.random.default_rng(0)
+        model = build_model("mlp", 8, 3, rng=rng, hidden=16)
+        data = LabeledDataset(rng.normal(size=(30, 8)),
+                              rng.integers(3, size=30))
+        legacy = _twopass_view(model, data)
+        fused = compute_view(model, data)
+        assert np.array_equal(legacy.probs, fused.probs)
+        assert np.array_equal(legacy.features, fused.features)
+
+    def test_tiny_end_to_end_run(self):
+        result = run_hotpath_bench(samples_per_class=300, num_arrivals=2,
+                                   arrival_size=40)
+        assert result["verdicts_identical"]
+        assert result["speedup"] > 0
+        assert result["counters"]["classindex.queries"] > 0
+        assert set(result["fig12"]) == {"1", "4", "8"}
+        assert "detect" in result["stage_seconds"]
+        report = format_hotpath_report(result)
+        assert "per-arrival" in report and "fig12" in report
+
+    def test_world_rejects_oversubscribed_pool(self):
+        from repro.experiments.hotpath import build_world
+        with pytest.raises(ValueError, match="pool"):
+            build_world(samples_per_class=30, num_arrivals=10,
+                        arrival_size=100)

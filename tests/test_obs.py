@@ -225,4 +225,4 @@ class TestPipelineIntegration:
         assert flat["detect/iteration/fine_tune"]["work"] > 0
         counters = tracer.to_dict()["counters"]
         assert counters.get("detector.vote_rounds", 0) >= 2
-        assert counters.get("kdtree.queries", 0) > 0
+        assert counters.get("classindex.queries", 0) > 0
