@@ -74,12 +74,21 @@ bench-hotpath:
 
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q \
-		tests/test_resilience.py tests/test_checkpoint_resume.py
+		tests/test_resilience.py tests/test_checkpoint_resume.py \
+		tests/test_updater.py tests/test_updater_chaos.py
 	PYTHONPATH=src $(PYTHON) -m repro chaos --arrivals 5 --times 3 \
 		--fail-stage iteration --fail-stage vote \
 		--checkpoint-dir chaos_ckpt
+	# Update-kill matrix: inject a fault into every model-update stage
+	# (train / swap / publish); the run must degrade gracefully and the
+	# resume round-trip must stay bit-identical, version lineage included.
+	for stage in update_train update_swap update_publish; do \
+		PYTHONPATH=src $(PYTHON) -m repro chaos --arrivals 4 --times 1 \
+			--fail-stage $$stage --update-every 2 \
+			--checkpoint-dir chaos_ckpt_$$stage || exit 1; \
+	done
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info chaos_ckpt \
+	rm -rf build dist *.egg-info src/*.egg-info chaos_ckpt chaos_ckpt_* \
 		.repro-analysis deps.dot
 	find . -name __pycache__ -type d -exec rm -rf {} +

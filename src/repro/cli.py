@@ -305,6 +305,98 @@ def cmd_bench_hotpath(args) -> int:
     return 0
 
 
+def cmd_versions(args) -> int:
+    """Inspect a checkpoint's content-addressed model-version lineage.
+
+    Reads ``platform.json`` from ``--checkpoint-dir`` (no inventory and
+    no retraining needed) and prints the version chain — digests, clean
+    pool size, reason, verdict counts.  With ``--verdicts REF`` it
+    answers the time-travel query "which verdicts did model REF
+    produce?" from the catalog records plus, when present, the
+    submission journal (entries written before versioning simply lack
+    the field and are reported as unversioned).
+    """
+    from .datalake.persistence import PLATFORM_STATE_FILE, read_journal
+
+    path = os.path.join(args.checkpoint_dir, PLATFORM_STATE_FILE)
+    if not os.path.exists(path):
+        print(f"no platform checkpoint at {path}", file=sys.stderr)
+        return 2
+    with open(path) as fh:
+        state = json.load(fh)
+    catalog = state.get("catalog", {})
+    versions = catalog.get("model_versions", [])
+    records = catalog.get("records", [])
+    journal_path = args.journal or os.path.join(args.checkpoint_dir,
+                                                "journal.jsonl")
+    journal = read_journal(journal_path)
+
+    def resolve(ref):
+        for v in versions:
+            if v["version_id"] == ref:
+                return v
+        prefixed = [v for v in versions
+                    if v["version_id"].startswith(ref)]
+        if len(prefixed) == 1:
+            return prefixed[0]
+        if ref.isdigit() and int(ref) < len(versions):
+            return versions[int(ref)]
+        return None
+
+    if args.verdicts is not None:
+        version = resolve(args.verdicts)
+        if version is None:
+            print(f"no model version matching {args.verdicts!r}",
+                  file=sys.stderr)
+            return 2
+        vid = version["version_id"]
+        verdicts = [{"dataset": r["dataset_name"],
+                     "clean": len(r["clean_ids"]),
+                     "noisy": len(r["noisy_ids"])}
+                    for r in records if r.get("model_version") == vid]
+        journal_hits = sum(1 for e in journal
+                           if e.get("model_version") == vid)
+        if args.json:
+            print(json.dumps({"version": version, "verdicts": verdicts,
+                              "journal_entries": journal_hits}, indent=2))
+            return 0
+        print(f"model version {vid} (seq {version['seq']}, "
+              f"{version['reason']}, clean pool "
+              f"{version['clean_pool_size']})")
+        for row in verdicts:
+            print(f"  {row['dataset']}: clean={row['clean']} "
+                  f"noisy={row['noisy']}")
+        if not verdicts:
+            print("  (no recorded verdicts)")
+        if journal:
+            print(f"  journal entries under this version: {journal_hits}")
+        return 0
+
+    active = versions[-1]["version_id"] if versions else None
+    if args.json:
+        print(json.dumps({"versions": versions, "active": active},
+                         indent=2))
+        return 0
+    if not versions:
+        print("no model versions recorded (pre-versioning checkpoint)")
+        return 0
+    counts: dict = {}
+    for r in records:
+        key = r.get("model_version")
+        counts[key] = counts.get(key, 0) + 1
+    print(f"{'seq':>4}  {'version':16}  {'reason':9}  {'pool':>5}  "
+          f"{'epochs':>6}  {'at-sub':>6}  verdicts")
+    for v in versions:
+        marker = "*" if v["version_id"] == active else " "
+        print(f"{v['seq']:>3}{marker}  {v['version_id']:16}  "
+              f"{v['reason']:9}  {v['clean_pool_size']:>5}  "
+              f"{v['train_epochs']:>6}  {v['created_at_submission']:>6}  "
+              f"{counts.get(v['version_id'], 0)}")
+    if counts.get(None):
+        print(f"({counts[None]} record(s) predate versioning)")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Fault-injected platform run + checkpoint/resume round-trip.
 
@@ -320,8 +412,10 @@ def cmd_chaos(args) -> int:
     import numpy as np
 
     from .core import ENLDConfig
+    from .core.scheduler import EveryNArrivals
     from .datalake import (ArrivalStream, FaultPlan, FaultRule,
-                           NoisyLabelPlatform, RetryPolicy, catalog_state)
+                           NoisyLabelPlatform, RetryPolicy, UpdaterConfig,
+                           catalog_state)
     from .datalake.resilience import INJECTABLE_STAGES
     from .datasets import generate, get_preset, split_inventory_incremental
     from .datasets.splits import ShardPlan
@@ -354,8 +448,12 @@ def cmd_chaos(args) -> int:
     config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
                         init_epochs=10, iterations=2,
                         steps_per_iteration=3, seed=args.seed)
+    scheduler = (EveryNArrivals(args.update_every)
+                 if args.update_every else None)
     platform = NoisyLabelPlatform(
         inventory, config=config, num_classes=spec.num_classes, trace=True,
+        scheduler=scheduler,
+        updater=UpdaterConfig(mode=args.update_mode),
         fault_plan=fault_plan,
         retry=RetryPolicy(backoff_base=0.0, sleep=lambda _s: None),
         journal_path=(os.path.join(args.checkpoint_dir, "journal.jsonl")
@@ -378,25 +476,42 @@ def cmd_chaos(args) -> int:
     if args.checkpoint_dir:
         platform.checkpoint(args.checkpoint_dir)
         resumed = NoisyLabelPlatform.resume(
-            args.checkpoint_dir, inventory, arrivals=arrivals)
+            args.checkpoint_dir, inventory, arrivals=arrivals,
+            updater=UpdaterConfig(mode=args.update_mode))
         before = json.dumps(catalog_state(platform.catalog), sort_keys=True)
         after = json.dumps(catalog_state(resumed.catalog), sort_keys=True)
-        resume_ok = before == after
+        live_report = platform.quality_report()
+        resumed_report = resumed.quality_report()
+        resume_ok = (before == after
+                     and live_report["model_version"]
+                     == resumed_report["model_version"]
+                     and live_report["pending_update"]
+                     == resumed_report["pending_update"])
         print(f"checkpoint/resume round-trip: "
               f"{'byte-identical' if resume_ok else 'MISMATCH'}")
 
     counters = platform.quality_report()
+    update_stages = [s for s in fail_stages if s.startswith("update_")
+                     or s == "model_update"]
+    injected = dict(platform._fault_injector.injected)
+    updates_exercised = all(injected.get(s, 0) >= 1
+                            for s in update_stages)
     summary = {
         "arrivals": len(arrivals),
         "statuses": statuses,
         "degraded": counters["degraded_submissions"],
         "quarantined": counters["quarantined_submissions"],
         "retries": counters["retries"],
-        "injected": dict(platform._fault_injector.injected),
+        "injected": injected,
+        "model_versions": counters["model_versions"],
+        "model_version": counters["model_version"],
+        "pending_update": counters["pending_update"],
         "resume_ok": resume_ok,
+        "updates_exercised": updates_exercised,
     }
     print(json.dumps(summary, indent=2))
-    survived = counters["quarantined_submissions"] >= 1 and resume_ok
+    survived = (counters["quarantined_submissions"] >= 1 and resume_ok
+                and updates_exercised)
     return 0 if survived else 1
 
 
@@ -502,7 +617,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--checkpoint-dir",
                          help="checkpoint here and verify a resume "
                               "round-trip (also enables the journal)")
+    p_chaos.add_argument("--update-every", type=int, default=None,
+                         help="schedule a model update every N arrivals "
+                              "(enables the update_* fault stages)")
+    p_chaos.add_argument("--update-mode", default="inline",
+                         choices=["inline", "thread", "process"],
+                         help="model-update execution mode (default: "
+                              "inline, i.e. synchronous)")
     p_chaos.set_defaults(fn=cmd_chaos, fail_stage=None)
+
+    p_versions = sub.add_parser(
+        "versions", help="time-travel queries over a checkpoint's "
+                         "model-version lineage")
+    p_versions.add_argument("--checkpoint-dir", required=True,
+                            help="platform checkpoint directory "
+                                 "(reads platform.json)")
+    p_versions.add_argument("--journal",
+                            help="journal path (default: "
+                                 "<checkpoint-dir>/journal.jsonl)")
+    p_versions.add_argument("--verdicts", metavar="REF",
+                            help="show per-dataset verdicts judged by "
+                                 "version REF (id, unique prefix, or seq)")
+    p_versions.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON")
+    p_versions.set_defaults(fn=cmd_versions)
 
     from .analysis.cli import add_parser as add_lint_parser
     from .analysis.deps import add_parser as add_deps_parser

@@ -32,7 +32,12 @@ from ..obs import Stopwatch, Tracer, trace_span, use_tracer
 from .config import ENLDConfig
 from .detector import DetectionResult, FineGrainedDetector
 from .probability import estimate_conditional
-from .update import model_update
+from .update import UpdateResult, model_update
+
+#: Opaque rollback snapshot captured by :meth:`ENLD.snapshot_swap_state`.
+SwapState = Tuple[Optional[Classifier], Optional[np.ndarray],
+                  Optional[LabeledDataset], Optional[LabeledDataset],
+                  Set[int], int]
 
 
 class NotInitializedError(RuntimeError):
@@ -133,12 +138,17 @@ class ENLD:
     # Optional step: model update (Alg. 4)
     # ------------------------------------------------------------------
     @property
+    def clean_positions(self) -> np.ndarray:
+        """Sorted ``I_c`` row positions accumulated into ``S_c``."""
+        self._require_initialized()
+        return np.array(sorted(self._clean_candidate_positions), dtype=int)
+
+    @property
     def clean_inventory(self) -> LabeledDataset:
         """Accumulated ``S_c`` as a dataset (rows of ``I_c``)."""
         self._require_initialized()
-        positions = np.array(sorted(self._clean_candidate_positions),
-                             dtype=int)
-        return self.inventory_candidates.subset(positions, name="S_c")
+        return self.inventory_candidates.subset(self.clean_positions,
+                                                name="S_c")
 
     def update_model(self, epochs: Optional[int] = None) -> "ENLD":
         """Refresh ``θ`` from the accumulated clean inventory set."""
@@ -148,6 +158,20 @@ class ENLD:
                 self.model, self.clean_inventory,
                 self.inventory_train, self.inventory_candidates,
                 self.config, self._rng, epochs=epochs)
+        self.install_update(outcome)
+        return self
+
+    def install_update(self, outcome: UpdateResult) -> None:
+        """Atomically adopt a prepared :class:`UpdateResult`.
+
+        This is the swap half of Alg. 4, separated from training so a
+        background worker can produce the ``UpdateResult`` off-thread
+        and the owner can install it in one step: ``θ``, ``P̃`` and the
+        inventory halves are replaced together, then every piece of
+        derived state keyed on the old model or the old ``I_c`` (clean
+        positions, feature cache, ``S_c`` index) is dropped.
+        """
+        self._require_initialized()
         self.model = outcome.model
         self.cond_prob = outcome.cond_prob
         self.inventory_train = outcome.inventory_train
@@ -156,7 +180,27 @@ class ENLD:
         # Clean-position bookkeeping referred to the old I_c; reset it.
         self._clean_candidate_positions.clear()
         self._reset_derived_state()
-        return self
+
+    def snapshot_swap_state(self) -> SwapState:
+        """Capture the references :meth:`install_update` replaces.
+
+        The snapshot is by-reference (datasets and model are never
+        mutated in place by detection or training), so taking one is
+        O(1); pair with :meth:`restore_swap_state` to roll a failed
+        swap back to exactly the pre-swap platform state.
+        """
+        return (self.model, self.cond_prob, self.inventory_train,
+                self.inventory_candidates,
+                set(self._clean_candidate_positions),
+                self.setup_train_samples)
+
+    def restore_swap_state(self, state: SwapState) -> None:
+        """Roll back to a :meth:`snapshot_swap_state` capture."""
+        (self.model, self.cond_prob, self.inventory_train,
+         self.inventory_candidates, positions,
+         self.setup_train_samples) = state
+        self._clean_candidate_positions = set(positions)
+        self._reset_derived_state()
 
     # ------------------------------------------------------------------
     # Clean-inventory queries (incremental index over S_c)

@@ -38,6 +38,18 @@ class UpdateScheduler(ABC):
     def notify_updated(self) -> None:
         """Reset any state that the model update invalidates."""
 
+    def notify_enqueued(self) -> None:
+        """An async update job was enqueued on this scheduler's trigger.
+
+        Hook for the asynchronous update service
+        (:mod:`repro.datalake.updater`): the platform calls it when a
+        firing enqueues a background job instead of updating inline.
+        The default keeps the scheduler armed — :meth:`notify_updated`
+        still resets it when the swap lands — so a failed job is
+        naturally re-requested.  Policies that must not re-fire while a
+        job is pending can override it.
+        """
+
     # -- checkpointable state (platform crash/resume) -------------------
     def params(self) -> dict:
         """Constructor arguments, for rebuilding the scheduler."""

@@ -22,13 +22,21 @@ from .probability import estimate_conditional
 
 @dataclass
 class UpdateResult:
-    """Everything produced by one model-update pass."""
+    """Everything produced by one model-update pass.
+
+    The result is a pure value — :func:`model_update` never mutates its
+    inputs — so it can be produced by a background worker and installed
+    atomically later (see :mod:`repro.datalake.updater`).
+    """
 
     model: Classifier
     cond_prob: np.ndarray
     inventory_train: LabeledDataset   # new I_t (old I_c)
     inventory_candidates: LabeledDataset  # new I_c (old I_t)
     train_samples: int
+    # Resolved epoch budget actually trained (recorded in the catalog's
+    # model-version entry); 0 only for hand-built results.
+    epochs: int = 0
 
 
 def model_update(model: Classifier, clean_inventory: LabeledDataset,
@@ -76,4 +84,5 @@ def model_update(model: Classifier, clean_inventory: LabeledDataset,
     return UpdateResult(model=updated, cond_prob=cond,
                         inventory_train=new_train,
                         inventory_candidates=new_candidates,
-                        train_samples=report.samples_processed)
+                        train_samples=report.samples_processed,
+                        epochs=epochs)

@@ -1,8 +1,9 @@
 """``repro.datalake`` — platform-side catalog, arrival simulation and
 resilience (admission control, graceful degradation, checkpoint/resume,
-deterministic fault injection)."""
+deterministic fault injection, async model updates with versioning)."""
 
-from .catalog import DataLakeCatalog, DetectionRecord, QuarantineRecord
+from .catalog import (DataLakeCatalog, DetectionRecord, ModelVersion,
+                      QuarantineRecord)
 from .persistence import (append_journal, atomic_write_json, catalog_state,
                           load_catalog_state, read_journal,
                           restore_catalog_state, save_catalog)
@@ -12,8 +13,11 @@ from .resilience import (INJECTABLE_STAGES, NO_WAIT_RETRY, FailureEvent,
                          RetryPolicy, admission_errors,
                          coarse_fallback_detect)
 from .stream import ArrivalStream
+from .updater import (UPDATER_MODES, ModelUpdateService, UpdateJob,
+                      UpdaterConfig)
 
 __all__ = ["DataLakeCatalog", "DetectionRecord", "QuarantineRecord",
+           "ModelVersion",
            "ArrivalStream", "NoisyLabelPlatform", "SubmissionReport",
            "save_catalog", "load_catalog_state", "restore_catalog_state",
            "catalog_state", "append_journal", "read_journal",
@@ -21,4 +25,6 @@ __all__ = ["DataLakeCatalog", "DetectionRecord", "QuarantineRecord",
            "FaultPlan", "FaultRule", "FaultInjector", "InjectedFault",
            "RetryPolicy", "NO_WAIT_RETRY", "FailureEvent",
            "admission_errors", "coarse_fallback_detect",
-           "INJECTABLE_STAGES"]
+           "INJECTABLE_STAGES",
+           "ModelUpdateService", "UpdaterConfig", "UpdateJob",
+           "UPDATER_MODES"]

@@ -29,10 +29,14 @@ from typing import Dict, List
 
 import numpy as np
 
-from .catalog import DataLakeCatalog, DetectionRecord, QuarantineRecord
+from .catalog import (DataLakeCatalog, DetectionRecord, ModelVersion,
+                      QuarantineRecord)
 
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+# v2 added the quarantine section; v3 adds the content-addressed model
+# version lineage and the per-record ``model_version`` tag.  Older
+# states still load — missing sections default to empty/None.
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: File names inside a platform checkpoint directory.
 PLATFORM_STATE_FILE = "platform.json"
@@ -90,6 +94,7 @@ def catalog_state(catalog: DataLakeCatalog) -> Dict:
             "noisy_ids": [int(i) for i in record.noisy_ids],
             "process_seconds": record.process_seconds,
             "detector": record.detector,
+            "model_version": record.model_version,
         })
     quarantined = []
     for name in catalog.quarantined_names:
@@ -105,6 +110,7 @@ def catalog_state(catalog: DataLakeCatalog) -> Dict:
         "quarantined": quarantined,
         "clean_inventory_ids": [int(i) for i in
                                 catalog.clean_inventory_ids],
+        "model_versions": [v.to_dict() for v in catalog.versions],
     }
 
 
@@ -135,6 +141,7 @@ def restore_catalog_state(catalog: DataLakeCatalog, state: Dict,
             noisy_ids=np.asarray(item["noisy_ids"], dtype=np.int64),
             process_seconds=item["process_seconds"],
             detector=item.get("detector", "enld"),
+            model_version=item.get("model_version"),
         )
         if record.dataset_name not in known:
             if strict:
@@ -148,6 +155,8 @@ def restore_catalog_state(catalog: DataLakeCatalog, state: Dict,
                                     reasons=list(item["reasons"]),
                                     num_samples=int(item["num_samples"]))
                    for item in state.get("quarantined", [])]
+    versions = [ModelVersion.from_dict(item)
+                for item in state.get("model_versions", [])]
     # Commit: nothing above mutated the catalog.
     for record in staged:
         catalog.record_detection(record)
@@ -155,6 +164,8 @@ def restore_catalog_state(catalog: DataLakeCatalog, state: Dict,
         catalog.quarantine_arrival(q)
     catalog.add_clean_inventory_ids(
         np.asarray(state["clean_inventory_ids"], dtype=np.int64))
+    for version in versions:
+        catalog.register_model_version(version)
     return len(staged)
 
 

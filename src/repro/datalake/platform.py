@@ -56,15 +56,21 @@ from ..nn.data import LabeledDataset
 from ..nn.serialize import load_checkpoint, save_checkpoint
 from ..obs import (Tracer, incr, merge_trace_dicts, trace_span,
                    use_span_hook, use_tracer)
-from .catalog import DataLakeCatalog, DetectionRecord, QuarantineRecord
+from .catalog import (DataLakeCatalog, DetectionRecord, ModelVersion,
+                      QuarantineRecord)
 from .persistence import (MODEL_WEIGHTS_FILE, PLATFORM_STATE_FILE,
                           append_journal, atomic_write_json, catalog_state,
                           restore_catalog_state)
 from .resilience import (FailureEvent, FaultPlan, RetryPolicy,
                          admission_errors, coarse_fallback_detect,
                          describe_failure)
+from .updater import ModelUpdateService, UpdaterConfig
 
-_PLATFORM_FORMAT_VERSION = 1
+# v2 embeds the async update-service state (pending job spec) so a
+# checkpoint taken mid-train re-enqueues the job on resume; v1 files
+# (no updater, no model versions) still load.
+_PLATFORM_FORMAT_VERSION = 2
+_SUPPORTED_PLATFORM_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -132,7 +138,14 @@ class NoisyLabelPlatform:
         harness used by tests and ``repro chaos``.
     journal_path:
         Optional JSON-lines file; every submission appends one durable
-        entry (name, status, detector, retries, counts).
+        entry (name, status, detector, retries, counts, model version).
+    updater:
+        :class:`~repro.datalake.updater.UpdaterConfig` selecting how
+        scheduled model updates run — ``inline`` (default, the
+        pre-service synchronous behaviour) or asynchronously in a
+        ``thread``/``process`` worker with watchdog + bounded retries.
+        Either way every swap publishes a content-addressed
+        :class:`~repro.datalake.catalog.ModelVersion` to the catalog.
     """
 
     def __init__(self, inventory: LabeledDataset,
@@ -144,7 +157,8 @@ class NoisyLabelPlatform:
                  admission: bool = True,
                  fallback: bool = True,
                  fault_plan: Optional[FaultPlan] = None,
-                 journal_path: Optional[str] = None) -> None:
+                 journal_path: Optional[str] = None,
+                 updater: Optional[UpdaterConfig] = None) -> None:
         self.catalog = DataLakeCatalog(inventory)
         self.enld = ENLD(config)
         self.scheduler = scheduler
@@ -171,6 +185,24 @@ class NoisyLabelPlatform:
         self.degraded_submissions: int = 0
         self.quarantined_submissions: int = 0
         self.retries_total: int = 0
+        self.update_service = self._build_update_service(updater)
+        self.update_service.publish_setup_version(
+            train_samples=self.enld.setup_train_samples,
+            epochs=self.enld.config.init_epochs)
+
+    def _build_update_service(self, updater: Optional[UpdaterConfig]
+                              ) -> ModelUpdateService:
+        return ModelUpdateService(
+            self.enld, self.catalog, config=updater,
+            span_hook=self._fault_injector, on_swap=self._record_swap,
+            progress=lambda: self.submissions)
+
+    def _record_swap(self, version: ModelVersion) -> None:
+        """Post-swap bookkeeping (runs inside the publish stage)."""
+        self.model_updates += 1
+        incr("platform.update_swaps")
+        if self.scheduler is not None:
+            self.scheduler.notify_updated()
 
     # ------------------------------------------------------------------
     @property
@@ -199,6 +231,11 @@ class NoisyLabelPlatform:
         return report
 
     def _submit_inner(self, dataset: LabeledDataset) -> SubmissionReport:
+        # Land a finished background update *before* this arrival is
+        # judged: the swap is atomic between submissions, so every
+        # verdict is attributable to exactly one model version.
+        updated, update_failures = self._poll_update_service()
+
         if self.admission:
             reasons = admission_errors(dataset, self.enld.num_classes,
                                        self.catalog.arrival_names)
@@ -209,27 +246,29 @@ class NoisyLabelPlatform:
                 self.quarantined_submissions += 1
                 incr("platform.quarantined")
                 return SubmissionReport(
-                    quarantined=True,
-                    failures=[FailureEvent(attempt=0, stage="admission",
-                                           error=r) for r in reasons])
+                    quarantined=True, updated_model=updated,
+                    failures=update_failures
+                    + [FailureEvent(attempt=0, stage="admission",
+                                    error=r) for r in reasons])
 
         self.catalog.register_arrival(dataset)
         self.submissions += 1
         incr("platform.submissions")
         result, retries, failures, degraded = self._detect_resilient(dataset)
+        failures = update_failures + failures
         record = DetectionRecord(
             dataset_name=dataset.name,
             clean_ids=dataset.ids[result.clean_mask],
             noisy_ids=dataset.ids[result.noisy_mask],
             process_seconds=result.process_seconds,
             detector=result.detector_name,
+            model_version=self.catalog.active_version_id,
         )
         self.catalog.record_detection(record)
         self.catalog.add_clean_inventory_ids(
             self.enld.inventory_candidates.ids[
                 result.inventory_clean_positions])
 
-        updated = False
         if self.scheduler is not None:
             self.scheduler.observe(result)
             if (self.scheduler.should_update()
@@ -239,17 +278,28 @@ class NoisyLabelPlatform:
                 # serving on the current general model and leave the
                 # scheduler armed so the next submission retries.
                 try:
-                    with use_span_hook(self._fault_injector):
-                        self.update_model()
+                    if self.update_service.synchronous:
+                        self.update_service.run_sync(reason="scheduled")
+                        updated = True
+                    elif self.update_service.request_update(
+                            reason="scheduled"):
+                        incr("platform.update_enqueued")
+                        self.scheduler.notify_enqueued()
                 except Exception as exc:  # noqa: BLE001
                     failures.append(describe_failure(0, exc))
                     incr("platform.update_failures")
-                else:
-                    self.scheduler.notify_updated()
-                    updated = True
         return SubmissionReport(result=result, record=record,
                                 updated_model=updated, degraded=degraded,
                                 retries=retries, failures=failures)
+
+    def _poll_update_service(self) -> Tuple[bool, List[FailureEvent]]:
+        """Advance the async update service; never blocks, never raises."""
+        swapped, failure = self.update_service.poll()
+        failures: List[FailureEvent] = []
+        if failure is not None:
+            failures.append(failure)
+            incr("platform.update_failures")
+        return swapped, failures
 
     def _detect_resilient(
         self, dataset: LabeledDataset,
@@ -267,7 +317,14 @@ class NoisyLabelPlatform:
             if attempt > 0:
                 self.retries_total += 1
                 incr("platform.retries")
-                self.retry.sleep(self.retry.backoff_seconds(attempt - 1))
+                # Jitter from a derived, stateless stream: seeded (so a
+                # replayed run backs off identically) yet decorrelated
+                # across submissions (no synchronized retry storms).
+                jitter_rng = np.random.default_rng(
+                    [self.enld.config.seed, 5227, self.submissions,
+                     attempt])
+                self.retry.sleep(self.retry.backoff_seconds(
+                    attempt - 1, rng=jitter_rng))
                 # Re-roll the detection RNG: a failure tied to one
                 # unlucky sampling draw should not repeat verbatim.
                 self.enld.reseed(
@@ -305,13 +362,22 @@ class NoisyLabelPlatform:
             "noisy": (len(report.record.noisy_ids)
                       if report.record is not None else 0),
             "updated_model": report.updated_model,
+            # The version whose model judged this arrival (pre-v3
+            # journal readers simply never see the key).
+            "model_version": (report.record.model_version
+                              if report.record is not None
+                              else self.catalog.active_version_id),
         }
         append_journal(self.journal_path, entry)
 
     def update_model(self, epochs: Optional[int] = None) -> None:
-        """Run the Alg. 4 model update now (also counts it)."""
-        self.enld.update_model(epochs=epochs)
-        self.model_updates += 1
+        """Run the Alg. 4 model update now (forced-sync path).
+
+        Trains and hot-swaps on the calling thread through the update
+        service, superseding any pending background job, and publishes
+        a new catalog model version (``reason="forced"``).
+        """
+        self.update_service.run_sync(epochs=epochs, reason="forced")
 
     # ------------------------------------------------------------------
     # Crash-safe checkpoint / resume
@@ -341,6 +407,9 @@ class NoisyLabelPlatform:
                         self.quarantined_submissions,
                     "retries_total": self.retries_total,
                 },
+                # Pending update-job spec (not the worker): a resume
+                # re-enqueues it and retrains deterministically.
+                "updater": self.update_service.state_dict(),
             }
             # Weights first: if the process dies between the two
             # writes the old state file still pairs with a complete
@@ -359,22 +428,27 @@ class NoisyLabelPlatform:
                admission: bool = True,
                fallback: bool = True,
                fault_plan: Optional[FaultPlan] = None,
-               journal_path: Optional[str] = None
+               journal_path: Optional[str] = None,
+               updater: Optional[UpdaterConfig] = None
                ) -> "NoisyLabelPlatform":
         """Reconstruct a platform from a :meth:`checkpoint` directory.
 
         ``inventory`` (and any ``arrivals`` whose detection records
         should be restored) come from the lake — payload arrays are
         never checkpointed.  The returned platform is state-identical
-        to the one that wrote the checkpoint: same catalog, ``P̃``,
-        inventory split, clean-inventory ids, scheduler counters and
-        model weights, without re-running setup training.
+        to the one that wrote the checkpoint: same catalog (including
+        the model-version lineage), ``P̃``, inventory split,
+        clean-inventory ids, scheduler counters and model weights,
+        without re-running setup training.  A checkpoint taken while
+        an async update was pending re-enqueues the job from its spec;
+        the retrained result is byte-identical, so the resumed platform
+        converges to the same version lineage the original would have.
         """
         with trace_span("resume"):
             with open(os.path.join(directory,
                                    PLATFORM_STATE_FILE)) as fh:
                 state = json.load(fh)
-            if state.get("version") != _PLATFORM_FORMAT_VERSION:
+            if state.get("version") not in _SUPPORTED_PLATFORM_VERSIONS:
                 raise ValueError(
                     f"unsupported platform checkpoint version "
                     f"{state.get('version')!r}")
@@ -408,6 +482,8 @@ class NoisyLabelPlatform:
         self.quarantined_submissions = int(
             counters["quarantined_submissions"])
         self.retries_total = int(counters["retries_total"])
+        self.update_service = self._build_update_service(updater)
+        self.update_service.load_state(state.get("updater"))
         return self
 
     # ------------------------------------------------------------------
@@ -468,6 +544,12 @@ class NoisyLabelPlatform:
             "feature_cache_enabled": self.enld.feature_cache is not None,
             "feature_cache_entries": self.enld.config.feature_cache_entries,
         }
+        # Versioning + pending-update state.  Like the hotpath block,
+        # only durable facts appear here (job spec, not worker
+        # liveness), so a resumed platform reports identically.
+        report["model_version"] = self.catalog.active_version_id
+        report["model_versions"] = len(self.catalog.versions)
+        report["pending_update"] = self.update_service.status()
         if self.trace_enabled:
             traces = ([self.setup_trace] if self.setup_trace else []) \
                 + self._submission_traces

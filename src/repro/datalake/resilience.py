@@ -39,12 +39,15 @@ from ..noise.injector import MISSING_LABEL
 from ..core.detector import DetectionResult
 
 #: Stage (span) names a fault plan may target — the obs-instrumented
-#: boundaries of the submit pipeline.  ``setup`` is deliberately absent:
-#: a platform that cannot even initialise has nothing to degrade to.
+#: boundaries of the submit pipeline plus the model-update service
+#: stages (``update_train`` fires as a job starts training,
+#: ``update_swap`` as the hot-swap begins, ``update_publish`` as the
+#: new version is recorded).  ``setup`` is deliberately absent: a
+#: platform that cannot even initialise has nothing to degrade to.
 INJECTABLE_STAGES = (
     "detect", "initial_views", "contrastive_sampling", "warmup",
     "iteration", "fine_tune", "vote", "recompute_views", "resample",
-    "model_update",
+    "model_update", "update_train", "update_swap", "update_publish",
 )
 
 
@@ -208,11 +211,19 @@ class RetryPolicy:
     ``sleep`` is injectable so tests (and the chaos CLI) never block on
     real backoff waits; attempt ``i`` (0-based) sleeps
     ``min(backoff_base * 2**i, max_backoff)`` seconds before retrying.
+
+    ``jitter`` randomises each backoff by up to ``±jitter`` of its
+    nominal value *when the caller supplies a seeded generator* —
+    deterministic backoff synchronises retry storms across concurrent
+    submissions, while a seeded jitter stream keeps replays
+    bit-identical.  Without an ``rng`` the schedule stays exactly the
+    nominal exponential one.
     """
 
     max_retries: int = 2
     backoff_base: float = 0.05
     max_backoff: float = 2.0
+    jitter: float = 0.25
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
     def __post_init__(self) -> None:
@@ -220,10 +231,24 @@ class RetryPolicy:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base < 0 or self.max_backoff < 0:
             raise ValueError("backoff durations must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff_seconds(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (0-based retry index)."""
-        return min(self.backoff_base * (2 ** attempt), self.max_backoff)
+    def backoff_seconds(self, attempt: int,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> float:
+        """Backoff before retry ``attempt`` (0-based retry index).
+
+        With ``rng`` the nominal value is scaled by a uniform factor in
+        ``[1 - jitter, 1 + jitter]`` (still capped at ``max_backoff``);
+        pass a generator derived from the platform RNG stream so the
+        schedule replays deterministically.
+        """
+        base = min(self.backoff_base * (2 ** attempt), self.max_backoff)
+        if rng is None or self.jitter == 0.0 or base == 0.0:
+            return base
+        factor = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return float(min(base * factor, self.max_backoff))
 
 
 #: Retry policy that never waits — used by tests and ``repro chaos``.

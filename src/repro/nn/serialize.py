@@ -6,6 +6,7 @@ they stay dependency-free and portable.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import tempfile
 from typing import Dict
@@ -15,6 +16,25 @@ import numpy as np
 from .layers import Module
 
 _META_KEY = "__repro_checkpoint__"
+
+
+def state_digest(model: Module, bits: int = 128) -> str:
+    """Content digest of a model's parameters and buffers.
+
+    BLAKE2b over the sorted state dict (key, shape, dtype, raw bytes),
+    so two models with byte-identical weights share a digest regardless
+    of construction order.  This is the weights component of the
+    content-addressed model versions kept by the data-lake catalog.
+    """
+    h = hashlib.blake2b(digest_size=bits // 8)
+    state = model.state_dict()
+    for key in sorted(state):
+        arr = np.ascontiguousarray(state[key])
+        h.update(key.encode())
+        h.update(str(arr.shape).encode())
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def save_checkpoint(model: Module, path: str) -> None:

@@ -15,23 +15,43 @@ import time
 class Stopwatch:
     """Context manager measuring elapsed wall-clock seconds.
 
-    ``seconds`` tracks the running total while the block is open and
-    freezes at exit, so it can be read both mid-flight and after::
+    ``seconds`` freezes the total at block exit; :attr:`elapsed` reads
+    the live value at any point after :meth:`start` (or ``__enter__``),
+    which is what deadline checks such as the model-update watchdog
+    use::
 
         with Stopwatch() as sw:
             do_work()
         report.setup_seconds = sw.seconds
+
+        watch = Stopwatch().start()
+        while watch.elapsed < timeout:
+            poll()
     """
 
-    __slots__ = ("seconds", "_start")
+    __slots__ = ("seconds", "_start", "_running")
 
     def __init__(self) -> None:
         self.seconds: float = 0.0
         self._start: float = 0.0
+        self._running: bool = False
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) timing without a ``with`` block."""
+        self._start = time.perf_counter()
+        self._running = True
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start`; frozen total once stopped."""
+        if self._running:
+            return time.perf_counter() - self._start
+        return self.seconds
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
-        return self
+        return self.start()
 
     def __exit__(self, *exc: object) -> None:
         self.seconds = time.perf_counter() - self._start
+        self._running = False

@@ -2,6 +2,7 @@
 
 import json
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -11,7 +12,8 @@ from repro.core.scheduler import (AnyOf, CleanPoolGrowth,
                                   DetectionDegradation, EveryNArrivals,
                                   scheduler_from_state, scheduler_to_state)
 from repro.datalake import (ArrivalStream, NO_WAIT_RETRY, NoisyLabelPlatform,
-                            catalog_state, read_journal)
+                            RetryPolicy, UpdaterConfig, catalog_state,
+                            read_journal)
 from repro.datalake.catalog import DataLakeCatalog, DetectionRecord
 from repro.datalake.persistence import (load_catalog_state, save_catalog)
 from repro.datasets import generate, split_inventory_incremental, toy
@@ -157,6 +159,34 @@ class TestJournal:
     def test_missing_journal_reads_empty(self, tmp_path):
         assert read_journal(str(tmp_path / "nope.jsonl")) == []
 
+    def test_journal_entries_carry_model_version(self, world, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"],
+                                      retry=NO_WAIT_RETRY,
+                                      journal_path=journal)
+        platform.submit(world["arrivals"][0])
+        entries = read_journal(journal)
+        assert entries[0]["model_version"] \
+            == platform.catalog.active_version_id
+
+    def test_torn_line_plus_missing_model_version_tolerated(self,
+                                                            tmp_path):
+        # Regression: a journal written by a pre-versioning build (no
+        # model_version field) with a torn final append must still read
+        # back its intact prefix, and readers must treat the missing
+        # field as None rather than raising.
+        journal = str(tmp_path / "journal.jsonl")
+        with open(journal, "w") as fh:
+            fh.write(json.dumps({"dataset": "old", "status": "ok"}) + "\n")
+            fh.write(json.dumps({"dataset": "new", "status": "ok",
+                                 "model_version": "abcd"}) + "\n")
+            fh.write('{"dataset": "torn", "model_ver')  # killed mid-append
+        entries = read_journal(journal)
+        assert [e["dataset"] for e in entries] == ["old", "new"]
+        assert entries[0].get("model_version") is None
+        assert entries[1]["model_version"] == "abcd"
+
 
 class TestSchedulerState:
     @pytest.mark.parametrize("scheduler", [
@@ -190,6 +220,56 @@ class TestSchedulerState:
         with pytest.raises(ValueError, match="unknown scheduler"):
             scheduler_from_state({"type": "Cron", "params": {},
                                   "state": {}})
+
+
+class TestMidTrainResume:
+    """A checkpoint taken while a worker trains re-enqueues the job."""
+
+    def test_resume_reenqueues_and_converges_byte_identically(
+            self, world, tmp_path):
+        updater = UpdaterConfig(
+            mode="thread",
+            retry=RetryPolicy(max_retries=1, backoff_base=0.0,
+                              sleep=lambda _s: None))
+        platform = NoisyLabelPlatform(world["inventory"],
+                                      config=world["config"],
+                                      retry=NO_WAIT_RETRY, updater=updater)
+        for arrival in world["arrivals"][:2]:
+            platform.submit(arrival)
+        service = platform.update_service
+        gate = threading.Event()
+        original = service._train_job
+
+        def blocked(job, model, i_t, i_c):
+            assert gate.wait(timeout=60)
+            return original(job, model, i_t, i_c)
+
+        service._train_job = blocked
+        try:
+            assert service.request_update(reason="scheduled")
+            live_job = service.pending_job
+            ckpt = str(tmp_path / "ckpt")
+            platform.checkpoint(ckpt)  # mid-train "kill" point
+
+            resumed = NoisyLabelPlatform.resume(
+                ckpt, world["inventory"], arrivals=world["arrivals"][:2],
+                retry=NO_WAIT_RETRY, updater=updater)
+            # The job spec round-trips; status is identical live and
+            # resumed (both just say "pending" — durable state only).
+            assert resumed.update_service.pending_job is not None
+            assert resumed.update_service.pending_job.to_dict() \
+                == live_job.to_dict()
+            assert resumed.quality_report() == platform.quality_report()
+
+            # The resumed service retrains from the job spec with the
+            # derived seed: both sides land the identical version.
+            assert resumed.update_service.wait(timeout=120)
+        finally:
+            gate.set()
+        assert service.wait(timeout=120)
+        assert [v.version_id for v in platform.catalog.versions] \
+            == [v.version_id for v in resumed.catalog.versions]
+        assert len(platform.catalog.versions) == 2
 
 
 class TestTransactionalCatalogRestore:

@@ -34,11 +34,27 @@ class TestParser:
         assert args.fail_stage is None  # resolved to ["iteration"]
         assert args.times == 1
         assert args.checkpoint_dir is None
+        assert args.update_every is None
+        assert args.update_mode == "inline"
 
     def test_chaos_repeatable_stage(self):
         args = build_parser().parse_args(
             ["chaos", "--fail-stage", "vote", "--fail-stage", "warmup"])
         assert args.fail_stage == ["vote", "warmup"]
+
+    def test_chaos_update_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "--update-every", "2", "--update-mode", "thread"])
+        assert args.update_every == 2
+        assert args.update_mode == "thread"
+
+    def test_versions_parser(self):
+        args = build_parser().parse_args(
+            ["versions", "--checkpoint-dir", "ckpt"])
+        assert args.checkpoint_dir == "ckpt"
+        assert args.journal is None
+        assert args.verdicts is None
+        assert args.json is False
 
 
 class TestCommands:
@@ -105,6 +121,76 @@ class TestChaosCommand:
                 f"{ckpt}/journal.jsonl").read().splitlines()))
         assert [e["status"] for e in journal] == \
             ["degraded", "ok", "ok", "quarantined"]
+
+
+class TestVersionsCommand:
+    """`repro versions` runs off a handcrafted platform.json — fast."""
+
+    VERSIONS = [
+        {"version_id": "aaaa000011112222", "seq": 0, "reason": "setup",
+         "weights_digest": "w0", "clean_pool_digest": "p0",
+         "clean_pool_size": 0, "config_digest": "c0", "parent": None,
+         "train_samples": 100, "train_epochs": 10,
+         "created_at_submission": 0},
+        {"version_id": "bbbb333344445555", "seq": 1, "reason": "scheduled",
+         "weights_digest": "w1", "clean_pool_digest": "p1",
+         "clean_pool_size": 40, "config_digest": "c0",
+         "parent": "aaaa000011112222", "train_samples": 80,
+         "train_epochs": 5, "created_at_submission": 2},
+    ]
+
+    def write_checkpoint(self, tmp_path):
+        records = [
+            {"dataset_name": "a0", "clean_ids": [1, 2], "noisy_ids": [3],
+             "process_seconds": 0.1, "detector": "enld",
+             "model_version": "aaaa000011112222"},
+            {"dataset_name": "a1", "clean_ids": [4], "noisy_ids": [5, 6],
+             "process_seconds": 0.1, "detector": "enld",
+             "model_version": "bbbb333344445555"},
+            {"dataset_name": "old", "clean_ids": [7], "noisy_ids": [],
+             "process_seconds": 0.1, "detector": "enld",
+             "model_version": None},
+        ]
+        state = {"catalog": {"version": 3, "records": records,
+                             "quarantined": [], "clean_inventory_ids": [],
+                             "model_versions": self.VERSIONS}}
+        with open(tmp_path / "platform.json", "w") as fh:
+            json.dump(state, fh)
+        return str(tmp_path)
+
+    def test_lineage_table(self, tmp_path, capsys):
+        ckpt = self.write_checkpoint(tmp_path)
+        assert main(["versions", "--checkpoint-dir", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "aaaa000011112222" in out and "bbbb333344445555" in out
+        assert "scheduled" in out
+        assert "1 record(s) predate versioning" in out
+
+    def test_verdicts_by_prefix(self, tmp_path, capsys):
+        ckpt = self.write_checkpoint(tmp_path)
+        assert main(["versions", "--checkpoint-dir", ckpt,
+                     "--verdicts", "bbbb"]) == 0
+        out = capsys.readouterr().out
+        assert "a1: clean=1 noisy=2" in out
+        assert "a0" not in out
+
+    def test_verdicts_by_seq_json(self, tmp_path, capsys):
+        ckpt = self.write_checkpoint(tmp_path)
+        assert main(["versions", "--checkpoint-dir", ckpt,
+                     "--verdicts", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"]["version_id"] == "aaaa000011112222"
+        assert payload["verdicts"] == [
+            {"dataset": "a0", "clean": 2, "noisy": 1}]
+
+    def test_unknown_ref_and_missing_checkpoint(self, tmp_path, capsys):
+        ckpt = self.write_checkpoint(tmp_path)
+        assert main(["versions", "--checkpoint-dir", ckpt,
+                     "--verdicts", "zzzz"]) == 2
+        assert "no model version" in capsys.readouterr().err
+        assert main(["versions", "--checkpoint-dir",
+                     str(tmp_path / "nope")]) == 2
+        assert "no platform checkpoint" in capsys.readouterr().err
 
 
 class TestTraceCommand:

@@ -30,7 +30,7 @@ def make_catalog():
 class TestState:
     def test_state_structure(self):
         state = catalog_state(make_catalog())
-        assert state["version"] == 2
+        assert state["version"] == 3
         assert len(state["records"]) == 1
         assert state["records"][0]["dataset_name"] == "a0"
         assert state["clean_inventory_ids"] == [2, 5, 9]

@@ -226,6 +226,48 @@ class TestDegradation:
         assert policy.backoff_seconds(1) == pytest.approx(0.2)
         assert policy.backoff_seconds(3) == pytest.approx(0.3)  # capped
 
+
+class TestBackoffJitter:
+    def test_seeded_rng_replays_identically(self):
+        policy = RetryPolicy(backoff_base=0.1, max_backoff=10.0,
+                             jitter=0.25)
+        a = [policy.backoff_seconds(i, rng=np.random.default_rng(7))
+             for i in range(4)]
+        b = [policy.backoff_seconds(i, rng=np.random.default_rng(7))
+             for i in range(4)]
+        assert a == b  # same seed → byte-identical replay
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(backoff_base=0.1, max_backoff=0.5,
+                             jitter=0.25)
+        rng = np.random.default_rng(11)
+        for attempt in range(6):
+            base = min(0.1 * 2 ** attempt, 0.5)
+            value = policy.backoff_seconds(attempt, rng=rng)
+            assert base * 0.75 <= value <= min(base * 1.25, 0.5)
+
+    def test_no_rng_keeps_exact_schedule(self):
+        # Replay determinism: callers that pass no rng (the blocking
+        # detection-retry path before seeded jitter existed) still get
+        # the exact exponential schedule.
+        policy = RetryPolicy(backoff_base=0.1, max_backoff=0.3,
+                             jitter=0.25)
+        assert policy.backoff_seconds(1) == pytest.approx(0.2)
+
+    def test_zero_jitter_ignores_rng(self):
+        policy = RetryPolicy(backoff_base=0.1, max_backoff=0.3,
+                             jitter=0.0)
+        rng = np.random.default_rng(3)
+        assert policy.backoff_seconds(1, rng=rng) == pytest.approx(0.2)
+        # The rng was never consumed.
+        assert rng.random() == np.random.default_rng(3).random()
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+
     def test_model_update_fault_does_not_fail_submission(self, world):
         plan = FaultPlan([FaultRule("model_update", on_call=1)])
         platform = make_platform(world, fault_plan=plan,

@@ -1,0 +1,324 @@
+"""Tests for repro.datalake.updater (async model updates + versioning)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import ENLDConfig
+from repro.core.scheduler import EveryNArrivals
+from repro.datalake import (ArrivalStream, NO_WAIT_RETRY, NoisyLabelPlatform,
+                            RetryPolicy, UpdaterConfig, catalog_state)
+from repro.datasets import generate, split_inventory_incremental, toy
+from repro.datasets.splits import ShardPlan
+from repro.nn.serialize import state_digest
+from repro.noise import corrupt_labels, pair_asymmetric
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = generate(toy(num_classes=6, samples_per_class=80), seed=70)
+    rng = np.random.default_rng(71)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(6, 0.2)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    arrivals = ArrivalStream(pool,
+                             ShardPlan(num_shards=4, classes_per_shard=3),
+                             transition=transition, seed=72).arrivals()
+    config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
+                        init_epochs=10, iterations=2,
+                        steps_per_iteration=3, seed=73)
+    return {"inventory": inventory, "arrivals": arrivals, "config": config}
+
+
+def make_platform(world, **kwargs):
+    kwargs.setdefault("retry", NO_WAIT_RETRY)
+    return NoisyLabelPlatform(world["inventory"], config=world["config"],
+                              **kwargs)
+
+
+def async_updater(**kwargs):
+    kwargs.setdefault("mode", "thread")
+    kwargs.setdefault("retry", RetryPolicy(max_retries=1, backoff_base=0.0,
+                                           sleep=lambda _s: None))
+    return UpdaterConfig(**kwargs)
+
+
+class GatedTrainer:
+    """Shadow a service's ``_train_job`` so scheduled jobs block on a gate.
+
+    Forced jobs pass straight through, which lets tests interleave a
+    hung scheduled update with a forced synchronous one.
+    """
+
+    def __init__(self, service):
+        self.gate = threading.Event()
+        self.calls = 0
+        self.finished = 0
+        self.original = service._train_job
+        service._train_job = self
+
+    def __call__(self, job, model, i_t, i_c):
+        self.calls += 1
+        if job.reason == "scheduled":
+            assert self.gate.wait(timeout=60), "gate never released"
+        outcome = self.original(job, model, i_t, i_c)
+        self.finished += 1
+        return outcome
+
+
+def drain_update_threads(timeout=10.0):
+    """Wait for abandoned update worker threads to wind down."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not any(t.name.startswith("repro-update")
+                   for t in threading.enumerate()):
+            return
+        time.sleep(0.02)
+
+
+# ----------------------------------------------------------------------
+# Version lineage (content-addressed catalog)
+# ----------------------------------------------------------------------
+class TestVersionLineage:
+    def test_setup_version_registered(self, world):
+        platform = make_platform(world)
+        versions = platform.catalog.versions
+        assert len(versions) == 1
+        v0 = versions[0]
+        assert v0.seq == 0 and v0.reason == "setup" and v0.parent is None
+        assert v0.weights_digest == state_digest(platform.enld.model)
+        assert platform.catalog.active_version_id == v0.version_id
+
+    def test_scheduled_update_versions_and_record_tags(self, world):
+        platform = make_platform(world, scheduler=EveryNArrivals(2))
+        for arrival in world["arrivals"]:
+            platform.submit(arrival)
+        versions = platform.catalog.versions
+        assert len(versions) >= 2
+        assert versions[1].reason == "scheduled"
+        assert versions[1].parent == versions[0].version_id
+        assert versions[1].clean_pool_size > 0
+        # The active head matches the installed weights exactly.
+        assert platform.catalog.active_version.weights_digest \
+            == state_digest(platform.enld.model)
+        # Every record is tagged with the version that judged it, and
+        # the tag only ever moves forward along the lineage.
+        order = [v.version_id for v in versions]
+        tags = [platform.catalog.get_detection(n).model_version
+                for n in platform.catalog.processed_names]
+        indexes = [order.index(t) for t in tags]
+        assert indexes == sorted(indexes)
+        assert indexes[0] == 0 and indexes[-1] >= 1
+
+    def test_version_ids_are_content_addressed(self, world):
+        def run():
+            platform = make_platform(world, scheduler=EveryNArrivals(2))
+            for arrival in world["arrivals"]:
+                platform.submit(arrival)
+            return [v.version_id for v in platform.catalog.versions]
+
+        assert run() == run()
+
+    def test_get_version_by_seq_prefix_and_id(self, world):
+        platform = make_platform(world, scheduler=EveryNArrivals(2))
+        for arrival in world["arrivals"][:2]:
+            platform.submit(arrival)
+        catalog = platform.catalog
+        head = catalog.active_version
+        assert catalog.get_version(head.version_id) is head
+        assert catalog.get_version(head.version_id[:6]) is head
+        assert catalog.get_version(str(head.seq)) is head
+        with pytest.raises(KeyError):
+            catalog.get_version("zzzz-no-such-version")
+
+    def test_verdicts_by_version(self, world):
+        platform = make_platform(world, scheduler=EveryNArrivals(2))
+        for arrival in world["arrivals"]:
+            platform.submit(arrival)
+        catalog = platform.catalog
+        per_version = [catalog.verdicts_by_version(v.version_id)
+                       for v in catalog.versions]
+        assert sum(len(rs) for rs in per_version) \
+            == len(catalog.processed_names)
+
+
+# ----------------------------------------------------------------------
+# Async service mechanics (thread worker)
+# ----------------------------------------------------------------------
+class TestAsyncService:
+    def test_enqueue_while_training_coalesces(self, world):
+        platform = make_platform(world, updater=async_updater())
+        for arrival in world["arrivals"][:2]:
+            platform.submit(arrival)
+        service = platform.update_service
+        trainer = GatedTrainer(service)
+        try:
+            assert service.request_update(reason="scheduled")
+            # Second fire while the worker trains: coalesced.
+            assert not service.request_update(reason="scheduled")
+            assert service.status()["state"] == "pending"
+            trainer.gate.set()
+            assert service.wait(timeout=60)
+        finally:
+            trainer.gate.set()
+        assert len(platform.catalog.versions) == 2
+        assert service.status()["state"] == "idle"
+        assert platform.model_updates == 1
+
+    def test_forced_sync_supersedes_pending_job(self, world):
+        platform = make_platform(world, updater=async_updater())
+        for arrival in world["arrivals"][:2]:
+            platform.submit(arrival)
+        service = platform.update_service
+        trainer = GatedTrainer(service)
+        try:
+            assert service.request_update(reason="scheduled")
+            platform.update_model(epochs=2)  # forced, synchronous
+        finally:
+            trainer.gate.set()
+        head = platform.catalog.active_version
+        assert head.reason == "forced" and head.train_epochs == 2
+        assert platform.model_updates == 1
+        drain_update_threads()
+        # The abandoned worker's late result must never install.
+        swapped, failure = service.poll()
+        assert not swapped and failure is None
+        assert len(platform.catalog.versions) == 2
+
+    def test_async_swap_matches_inline_run(self, world):
+        inline = make_platform(world, scheduler=EveryNArrivals(2))
+        threaded = make_platform(world, scheduler=EveryNArrivals(2),
+                                 updater=async_updater())
+        for arrival in world["arrivals"]:
+            inline.submit(arrival)
+            threaded.submit(arrival)
+            # Drain the async job before the next arrival so both
+            # platforms swap at the same stream position.
+            threaded.update_service.wait(timeout=120)
+        assert [v.version_id for v in inline.catalog.versions] \
+            == [v.version_id for v in threaded.catalog.versions]
+        # Verdicts and version tags are bit-identical; only the
+        # wall-clock process_seconds may differ between the two runs.
+        def verdicts(platform):
+            state = catalog_state(platform.catalog)
+            for record in state["records"]:
+                record.pop("process_seconds")
+            return state
+
+        assert verdicts(inline) == verdicts(threaded)
+
+    def test_watchdog_aborts_hung_training(self, world):
+        platform = make_platform(
+            world, updater=async_updater(timeout_seconds=0.02))
+        for arrival in world["arrivals"][:2]:
+            platform.submit(arrival)
+        service = platform.update_service
+        trainer = GatedTrainer(service)  # never released while hanging
+        try:
+            assert service.request_update(reason="scheduled")
+            failures = []
+            deadline = time.monotonic() + 30
+            while service.pending_job is not None \
+                    and time.monotonic() < deadline:
+                time.sleep(0.03)
+                _swapped, failure = service.poll()
+                if failure is not None:
+                    failures.append(failure)
+            # Attempt budget (1 retry) exhausted: parked in failed state.
+            assert service.pending_job is None
+            assert service.watchdog_aborts == 2
+            assert service.status()["state"] == "failed"
+            assert "watchdog" in service.status()["error"]
+            assert all("watchdog" in f.error for f in failures)
+            # The platform keeps serving the old model meanwhile.
+            report = platform.submit(world["arrivals"][2])
+            assert not report.quarantined
+            assert report.record.model_version \
+                == platform.catalog.active_version_id
+        finally:
+            trainer.gate.set()
+        drain_update_threads()
+        # Late results from abandoned workers are discarded, the model
+        # and version lineage stay exactly as they were.
+        swapped, failure = service.poll()
+        assert not swapped and failure is None
+        assert len(platform.catalog.versions) == 1
+        assert platform.catalog.active_version.seq == 0
+
+    def test_hung_update_never_stalls_submissions(self, world):
+        # No watchdog at all: the job simply stays pending forever and
+        # every submission keeps completing under the old model.
+        platform = make_platform(world, updater=async_updater())
+        for arrival in world["arrivals"][:2]:
+            platform.submit(arrival)
+        service = platform.update_service
+        trainer = GatedTrainer(service)
+        try:
+            assert service.request_update(reason="scheduled")
+            before = platform.catalog.active_version_id
+            for arrival in world["arrivals"][2:]:
+                report = platform.submit(arrival)
+                assert report.record is not None
+                assert report.record.model_version == before
+            assert service.status()["state"] == "pending"
+        finally:
+            trainer.gate.set()
+        assert service.wait(timeout=60)
+        assert platform.catalog.active_version_id != before
+
+
+# ----------------------------------------------------------------------
+# Process worker
+# ----------------------------------------------------------------------
+class TestProcessWorker:
+    def test_process_update_matches_inline_version(self, world):
+        proc = make_platform(world,
+                             updater=async_updater(mode="process"))
+        inline = make_platform(world)
+        for arrival in world["arrivals"][:2]:
+            proc.submit(arrival)
+            inline.submit(arrival)
+        assert proc.update_service.request_update(reason="scheduled")
+        assert proc.update_service.wait(timeout=180)
+        inline.update_service.run_sync(reason="scheduled")
+        # Same job spec + derived seed → byte-identical weights, hence
+        # the same content address, across worker placements.
+        assert [v.version_id for v in proc.catalog.versions] \
+            == [v.version_id for v in inline.catalog.versions]
+        assert state_digest(proc.enld.model) \
+            == state_digest(inline.enld.model)
+
+
+# ----------------------------------------------------------------------
+# Service state & configuration
+# ----------------------------------------------------------------------
+class TestServiceConfig:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            UpdaterConfig(mode="gpu-cluster")
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            UpdaterConfig(timeout_seconds=0.0)
+
+    def test_empty_clean_pool_rejected(self, world):
+        platform = make_platform(world)
+        with pytest.raises(ValueError, match="clean set"):
+            platform.update_model()
+
+    def test_status_durable_fields_only(self, world):
+        platform = make_platform(world)
+        status = platform.update_service.status()
+        assert status == {"mode": "inline", "state": "idle",
+                          "pending": False, "attempts": 0,
+                          "reason": None, "error": None}
+
+    def test_quality_report_carries_version_state(self, world):
+        platform = make_platform(world)
+        report = platform.quality_report()
+        assert report["model_version"] \
+            == platform.catalog.active_version_id
+        assert report["model_versions"] == 1
+        assert report["pending_update"]["state"] == "idle"

@@ -1,0 +1,158 @@
+"""Kill-mid-swap chaos tests: the update pipeline under injected faults.
+
+The acceptance gate: for every update fault stage, a killed-and-resumed
+run must produce verdicts bit-identical to an uninterrupted run with
+the same fault plan — the platform is observed fully-before or
+fully-after a swap, never in between.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import ENLDConfig
+from repro.core.scheduler import EveryNArrivals
+from repro.datalake import (ArrivalStream, FaultPlan, FaultRule,
+                            NO_WAIT_RETRY, NoisyLabelPlatform, RetryPolicy,
+                            UpdaterConfig, catalog_state)
+from repro.datasets import generate, split_inventory_incremental, toy
+from repro.datasets.splits import ShardPlan
+from repro.noise import corrupt_labels, pair_asymmetric
+
+UPDATE_STAGES = ["update_train", "update_swap", "update_publish"]
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = generate(toy(num_classes=6, samples_per_class=80), seed=80)
+    rng = np.random.default_rng(81)
+    inventory_clean, pool = split_inventory_incremental(data, rng)
+    transition = pair_asymmetric(6, 0.2)
+    inventory = corrupt_labels(inventory_clean, transition, rng)
+    arrivals = ArrivalStream(pool,
+                             ShardPlan(num_shards=4, classes_per_shard=3),
+                             transition=transition, seed=82).arrivals()
+    config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 48},
+                        init_epochs=10, iterations=2,
+                        steps_per_iteration=3, seed=83)
+    return {"inventory": inventory, "arrivals": arrivals, "config": config}
+
+
+def make_platform(world, **kwargs):
+    kwargs.setdefault("retry", NO_WAIT_RETRY)
+    kwargs.setdefault("scheduler", EveryNArrivals(2))
+    return NoisyLabelPlatform(world["inventory"], config=world["config"],
+                              **kwargs)
+
+
+def update_plan(stage):
+    return FaultPlan([FaultRule(stage, probability=1.0, times=1)], seed=0)
+
+
+def comparable_state(platform):
+    """Catalog state minus the wall-clock timings."""
+    state = catalog_state(platform.catalog)
+    for record in state["records"]:
+        record.pop("process_seconds")
+    return json.dumps(state, sort_keys=True)
+
+
+class TestKillMidSwapGate:
+    """Golden run vs crash-at-the-fault run, per update stage."""
+
+    @pytest.mark.parametrize("stage", UPDATE_STAGES)
+    def test_resume_converges_to_golden_run(self, world, stage, tmp_path):
+        # Golden: the fault fires at the first scheduled update
+        # (arrival 2), the swap rolls back, the still-armed scheduler
+        # retries at arrival 3 with the rule spent — and succeeds.
+        golden = make_platform(world, fault_plan=update_plan(stage))
+        for arrival in world["arrivals"]:
+            golden.submit(arrival)
+        assert golden._fault_injector.injected == {stage: 1}
+        assert len(golden.catalog.versions) == 2
+
+        # Crashed: same plan, but the process dies right after the
+        # faulted submission.  Resume from the checkpoint (no plan —
+        # the rule was already spent) and play the remaining arrivals.
+        crashed = make_platform(world, fault_plan=update_plan(stage))
+        for arrival in world["arrivals"][:2]:
+            report = crashed.submit(arrival)
+        assert any(f.stage == stage for f in report.failures)
+        # Fully-before: the rolled-back swap left no version behind
+        # and no pending job — the checkpoint is pre-swap.
+        assert len(crashed.catalog.versions) == 1
+        assert crashed.quality_report()["pending_update"]["state"] == "idle"
+        ckpt = str(tmp_path / f"ckpt_{stage}")
+        crashed.checkpoint(ckpt)
+        resumed = NoisyLabelPlatform.resume(ckpt, world["inventory"],
+                                            arrivals=world["arrivals"][:2],
+                                            retry=NO_WAIT_RETRY)
+        for arrival in world["arrivals"][2:]:
+            resumed.submit(arrival)
+
+        # The gate: bit-identical verdicts and version lineage.
+        assert comparable_state(resumed) == comparable_state(golden)
+        assert [v.to_dict() for v in resumed.catalog.versions] \
+            == [v.to_dict() for v in golden.catalog.versions]
+
+        # Every verdict is judged pre-swap or post-swap, never mixed:
+        # the version tag moves monotonically along the lineage.
+        order = [v.version_id for v in resumed.catalog.versions]
+        tags = [resumed.catalog.get_detection(n).model_version
+                for n in resumed.catalog.processed_names]
+        indexes = [order.index(t) for t in tags]
+        assert indexes == sorted(indexes)
+
+    @pytest.mark.parametrize("stage", ["update_swap", "update_publish"])
+    def test_failed_swap_is_fully_rolled_back(self, world, stage):
+        platform = make_platform(world, fault_plan=update_plan(stage),
+                                 trace=True)
+        for arrival in world["arrivals"][:2]:
+            report = platform.submit(arrival)
+        # The submission survives; the update failed atomically.
+        assert not report.degraded and not report.quarantined
+        assert not report.updated_model
+        assert platform.model_updates == 0
+        assert len(platform.catalog.versions) == 1
+        assert platform.catalog.active_version.seq == 0
+        assert report.trace["counters"]["platform.update_failures"] == 1
+        # Verdict tags still point at the setup version only.
+        tags = {platform.catalog.get_detection(n).model_version
+                for n in platform.catalog.processed_names}
+        assert tags == {platform.catalog.active_version_id}
+
+
+class TestAsyncUpdateFaults:
+    def test_thread_worker_spawn_fault_recovers(self, world):
+        # The update_train fault fires on the platform thread at spawn
+        # time; the updater's own retry budget respawns it at the next
+        # poll with the rule spent, and the swap eventually lands.
+        platform = make_platform(
+            world, fault_plan=update_plan("update_train"),
+            updater=UpdaterConfig(
+                mode="thread",
+                retry=RetryPolicy(max_retries=1, backoff_base=0.0,
+                                  sleep=lambda _s: None)))
+        for arrival in world["arrivals"]:
+            platform.submit(arrival)
+            platform.update_service.wait(timeout=120)
+        assert platform._fault_injector.injected["update_train"] == 1
+        assert platform.model_updates >= 1
+        assert len(platform.catalog.versions) >= 2
+
+    def test_exhausted_update_budget_degrades_gracefully(self, world):
+        # Fault every attempt: the job runs out of budget and the
+        # platform keeps serving the old model — updates never take
+        # down detection.
+        plan = FaultPlan([FaultRule("update_train", probability=1.0,
+                                    times=10 ** 9)], seed=0)
+        platform = make_platform(world, fault_plan=plan)
+        for arrival in world["arrivals"]:
+            report = platform.submit(arrival)
+            assert not report.quarantined
+        assert platform.model_updates == 0
+        assert len(platform.catalog.versions) == 1
+        tags = {platform.catalog.get_detection(n).model_version
+                for n in platform.catalog.processed_names}
+        assert tags == {platform.catalog.active_version_id}
