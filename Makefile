@@ -41,10 +41,12 @@ analyze:
 	PYTHONPATH=src $(PYTHON) -m repro lint src
 
 # Render the project import graph (same graph the REP6xx rules check)
-# as Graphviz DOT.  `dot -Tsvg deps.dot -o deps.svg` to view.
+# and the REP703 lock-order graph as Graphviz DOT.
+# `dot -Tsvg deps.dot -o deps.svg` to view.
 graph:
 	PYTHONPATH=src $(PYTHON) -m repro deps src --format dot > deps.dot
-	@echo "wrote deps.dot"
+	PYTHONPATH=src $(PYTHON) -m repro deps src --locks --format dot > locks.dot
+	@echo "wrote deps.dot locks.dot"
 
 # Analyzer perf smoke: cold vs warm incremental-cache full-tree runs
 # (hit/miss ledger gated, wall-clock sanity-checked).
@@ -90,5 +92,5 @@ chaos-smoke:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info chaos_ckpt chaos_ckpt_* \
-		.repro-analysis deps.dot
+		.repro-analysis deps.dot locks.dot
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,10 +1,11 @@
 """Analyzer perf smoke: cold vs warm incremental-cache full-tree runs.
 
-The whole-program analysis layer (REP6xx) re-runs on every ``repro
-lint`` invocation; what the incremental cache promises is that a warm
-run skips the expensive part — ``ast.parse`` plus the per-file rule
-pass — for every unchanged file.  This smoke proves the contract on
-the live ``src`` tree:
+The whole-program analysis layer (REP6xx imports/layering/RNG plus the
+REP7xx concurrency family) re-runs on every ``repro lint`` invocation;
+what the incremental cache promises is that a warm run skips the
+expensive part — ``ast.parse`` plus the per-file rule pass — for every
+unchanged file.  This smoke proves the contract on the live ``src``
+tree:
 
 - the cold run misses on every file, the warm run hits on every file;
 - warm and cold runs report byte-identical findings;
@@ -23,7 +24,7 @@ import time
 
 from _common import emit
 
-from repro.analysis import analyze_paths
+from repro.analysis import GRAPH_RULES, analyze_paths
 
 SRC = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src")
@@ -49,6 +50,12 @@ def test_analyzer_cold_vs_warm(tmp_path):
     cache_dir = str(tmp_path / "analysis-cache")
     cold, cold_seconds = _timed(cache_dir)
     warm, warm_seconds = _timed(cache_dir)
+
+    # The smoke runs under the full whole-program catalog: both graph
+    # families must be registered, so the warm-replay identity below
+    # covers the REP7xx concurrency rules, not just REP6xx.
+    assert {"REP601", "REP701", "REP702", "REP703", "REP704",
+            "REP705"} <= set(GRAPH_RULES)
 
     assert cold.files_scanned > 0
     assert cold.cache_hits == 0
@@ -76,3 +83,33 @@ def test_analyzer_cold_vs_warm(tmp_path):
                   "warm_seconds": warm_seconds,
                   "warm_hits": warm.cache_hits,
                   "warm_misses": warm.cache_misses})
+
+
+def test_warm_cache_replays_graph_findings(tmp_path):
+    """Graph rules fire from *cached* summaries, not just fresh parses.
+
+    The live tree is REP7xx-clean, so the full-tree identity check
+    above cannot distinguish "the warm run re-evaluated the
+    concurrency rules" from "the warm run dropped them".  This fixture
+    plants a guarded-by violation and requires the REP702 finding to
+    survive a 100%-hit warm replay byte-identically.
+    """
+    root = tmp_path / "proj"
+    (root / "repro").mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (root / "repro" / "box.py").write_text(
+        "import threading\n\n\n"
+        "class Box:\n"
+        "    def __init__(self):\n"
+        "        self.items = []  # repro: guarded-by(_lock)\n"
+        "        self._lock = threading.Lock()\n\n"
+        "    def bad(self):\n"
+        "        self.items.append(1)\n")
+    cache_dir = str(tmp_path / "analysis-cache")
+    cold = analyze_paths([str(root)], cache_dir=cache_dir)
+    warm = analyze_paths([str(root)], cache_dir=cache_dir)
+    assert cold.cache_misses == cold.files_scanned > 0
+    assert warm.cache_hits == warm.files_scanned
+    assert warm.cache_misses == 0
+    assert _snapshot(warm) == _snapshot(cold)
+    assert any(f.rule == "REP702" for f in warm.findings)

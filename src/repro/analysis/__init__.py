@@ -19,6 +19,9 @@ shrinks after the initial sweep.
 from .baseline import (DEFAULT_BASELINE_PATH, load_baseline,
                        write_baseline)
 from .cache import DEFAULT_CACHE_DIR, AnalysisCache
+from .concurrency import (ConcurrencyIndex, ModuleConcurrency,
+                          concurrency_index, extract_concurrency,
+                          render_locks_dot, render_locks_text)
 from .config import DEFAULT_CONFIG, AnalysisConfig
 from .engine import analyze_paths, analyze_source, module_key
 from .findings import AnalysisResult, Finding, Severity
@@ -34,6 +37,9 @@ __all__ = [
     "RULES", "Rule", "all_rules",
     "GRAPH_RULES", "GraphRule", "all_graph_rules",
     "ModuleSummary", "ProjectGraph",
+    "ConcurrencyIndex", "ModuleConcurrency",
+    "concurrency_index", "extract_concurrency",
+    "render_locks_dot", "render_locks_text",
     "AnalysisCache", "DEFAULT_CACHE_DIR",
     "load_baseline", "write_baseline", "DEFAULT_BASELINE_PATH",
     "render_text", "render_json", "render_sarif",

@@ -35,7 +35,8 @@ from .graph import ModuleSummary
 
 #: Bump when the cached summary/finding schema (or any rule's logic)
 #: changes in a way older entries cannot represent.
-CACHE_SCHEMA_VERSION = 1
+#: v2: ModuleSummary gained the ``concurrency`` facts (REP7xx).
+CACHE_SCHEMA_VERSION = 2
 
 #: Default cache directory, relative to the invocation directory.
 DEFAULT_CACHE_DIR = ".repro-analysis"

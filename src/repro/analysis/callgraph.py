@@ -143,6 +143,27 @@ class ClassInfo:
                                 if raw is not None else None))
 
 
+def encode_callee(func: ast.expr, imports: ImportMap,
+                  own_class: Optional[str]) -> Optional[str]:
+    """Encode a callee expression as a graph-resolvable reference.
+
+    Shared by the call-site scanner below and the concurrency
+    extractor; see the module docstring for the encoding.  Anything
+    unresolvable (calls on locals, call results, subscripts) encodes
+    to None.
+    """
+    if isinstance(func, ast.Name):
+        return f"local:{func.id}"
+    if isinstance(func, ast.Attribute):
+        if (isinstance(func.value, ast.Name)
+                and func.value.id == "self" and own_class):
+            return f"self:{own_class}.{func.attr}"
+        dotted = imports.resolve(func)
+        if dotted is not None and not dotted.startswith("."):
+            return f"dotted:{dotted}"
+    return None
+
+
 def _params_of(node: ast.AST, is_method: bool) -> Tuple[ParamInfo, ...]:
     """Ordered parameters with default-presence, self/cls stripped."""
     args = node.args
@@ -216,16 +237,7 @@ class _FunctionScanner:
             has_kwstar=any(k.arg is None for k in node.keywords))
 
     def _encode_callee(self, func: ast.expr) -> Optional[str]:
-        if isinstance(func, ast.Name):
-            return f"local:{func.id}"
-        if isinstance(func, ast.Attribute):
-            if (isinstance(func.value, ast.Name)
-                    and func.value.id == "self" and self.own_class):
-                return f"self:{self.own_class}.{func.attr}"
-            dotted = self.imports.resolve(func)
-            if dotted is not None and not dotted.startswith("."):
-                return f"dotted:{dotted}"
-        return None
+        return encode_callee(func, self.imports, self.own_class)
 
 
 @dataclass

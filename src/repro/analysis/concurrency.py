@@ -1,0 +1,1020 @@
+"""Whole-program concurrency-safety analysis (the REP7xx family).
+
+PR 6 made the platform genuinely concurrent: ``repro.datalake.updater``
+thread/process workers race the foreground ``submit()`` path.  The
+bit-identical-resume guarantee only survives that concurrency while
+every piece of shared mutable state is either lock-guarded or owned by
+exactly one thread — and those invariants are exactly the kind that
+break silently, as nondeterministic verdicts, long after the offending
+diff merged.  This module checks them statically, at lint time:
+
+REP701 **thread-escape**
+    Roots at every ``threading.Thread(target=...)`` / process-worker
+    spawn site (plus the configured foreground entry points), walks
+    the call graph to compute which instance attributes are reachable
+    from both a worker context and the foreground path, and flags any
+    unsynchronized mutation of such shared state.
+REP702 **guarded-by contracts**
+    ``# repro: guarded-by(_lock)`` on an attribute's initialisation
+    line declares its guard; every mutation site of that attribute
+    (outside ``__init__``) must then sit inside ``with self._lock:``.
+REP703 **lock-order graph**
+    Nested ``with``-acquisitions — direct and through resolvable calls
+    made while holding a lock — form a lock-order graph; Tarjan SCCs
+    of size > 1 (or a re-acquisition self-edge: ``threading.Lock`` is
+    not reentrant) are potential deadlocks.  ``repro deps --locks``
+    exports the same graph as DOT.
+REP704 **worker-boundary hygiene**
+    Process-worker targets must be module-level functions: lambdas,
+    nested functions and bound methods drag the enclosing frame or the
+    whole instance (locks, threads, live arrays) into the pickled
+    payload — or fail outright under the spawn start method.
+REP705 **blocking under lock**
+    ``time.sleep``/``.join()``/``.recv()``/file I/O while holding a
+    lock serialises every thread contending for it; flagged directly
+    and through resolvable calls that may transitively block.
+
+Extraction happens per module at parse time into the JSON-serialisable
+:class:`ModuleConcurrency` carried by each
+:class:`~repro.analysis.graph.ModuleSummary` — so the facts replay
+from the incremental cache like every other summary field.  Resolution
+is conservative in the same way the REP6xx family is: a call or lock
+that cannot be pinned to a project function/attribute never produces a
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import (Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
+
+from .config import AnalysisConfig
+from .findings import Severity
+from .graph import ProjectGraph, _tarjan
+from .rules import (GraphRule, ImportMap, RawGraphFinding,
+                    register_graph)
+
+#: ``with``-context attribute/variable names treated as locks.
+LOCK_NAME_RE = re.compile(
+    r"(^|_)(r?lock|mutex|sem(aphore)?|cond(ition)?)s?$")
+
+#: ``# repro: guarded-by(lock_attr)`` annotation on an attribute's
+#: initialisation line (class body or ``__init__``).
+GUARD_RE = re.compile(
+    r"#\s*repro:\s*guarded-by\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)")
+
+#: Method names that mutate their receiver (``self.x.append(...)``
+#: counts as a write to ``x``).
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popitem", "remove", "setdefault",
+    "sort", "update",
+})
+
+#: Resolved dotted calls that block the calling thread.
+BLOCKING_DOTTED = frozenset({
+    "time.sleep", "select.select", "subprocess.run",
+    "subprocess.check_call", "subprocess.check_output",
+})
+
+#: Unresolved method calls treated as blocking (worker ``.join()``,
+#: pipe ``.recv()``, nested ``.acquire()``, event ``.wait()``).
+BLOCKING_METHODS = frozenset({"join", "recv", "acquire", "wait"})
+
+
+# ----------------------------------------------------------------------
+# Per-module facts (serialised inside ModuleSummary)
+# ----------------------------------------------------------------------
+@dataclass
+class SpawnSite:
+    """One worker spawn: ``threading.Thread(...)`` / ``ctx.Process``."""
+
+    kind: str      #: "thread" | "process"
+    target: str    #: encoded target ("self:C.m", "local:f", "lambda",
+                   #: "nested:f", "?" or "" when no target= given)
+    line: int
+    col: int
+    func: str      #: qualname of the enclosing function ("" = module)
+
+    def to_dict(self) -> List[object]:
+        return [self.kind, self.target, self.line, self.col, self.func]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "SpawnSite":
+        return cls(str(d[0]), str(d[1]), int(d[2]), int(d[3]),
+                   str(d[4]))
+
+
+@dataclass
+class LockAcquire:
+    """One ``with <lock>:`` acquisition, with the locks already held."""
+
+    lock: str                  #: "C._lock" (self attr) or bare name
+    line: int
+    col: int
+    func: str
+    held: Tuple[str, ...] = ()
+
+    def to_dict(self) -> List[object]:
+        return [self.lock, self.line, self.col, self.func,
+                list(self.held)]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "LockAcquire":
+        return cls(str(d[0]), int(d[1]), int(d[2]), str(d[3]),
+                   tuple(str(h) for h in d[4]))
+
+
+@dataclass
+class MutationSite:
+    """One write to ``self.attr`` (assign/augassign/item/method)."""
+
+    attr: str                  #: "Class.attr"
+    kind: str                  #: "assign" | "aug" | "item" | "del"
+                               #: | "method:<name>"
+    line: int
+    col: int
+    func: str
+    locks: Tuple[str, ...] = ()   #: locks held at the write
+
+    def to_dict(self) -> List[object]:
+        return [self.attr, self.kind, self.line, self.col, self.func,
+                list(self.locks)]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "MutationSite":
+        return cls(str(d[0]), str(d[1]), int(d[2]), int(d[3]),
+                   str(d[4]), tuple(str(v) for v in d[5]))
+
+
+@dataclass
+class LockedCall:
+    """A resolvable call made while holding at least one lock."""
+
+    callee: str                #: encoded callee (callgraph encoding)
+    line: int
+    col: int
+    func: str
+    locks: Tuple[str, ...] = ()
+
+    def to_dict(self) -> List[object]:
+        return [self.callee, self.line, self.col, self.func,
+                list(self.locks)]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "LockedCall":
+        return cls(str(d[0]), int(d[1]), int(d[2]), str(d[3]),
+                   tuple(str(v) for v in d[4]))
+
+
+@dataclass
+class BlockingCall:
+    """A call that blocks the thread, with the locks held at the site."""
+
+    what: str                  #: display form ("time.sleep", ".join()")
+    line: int
+    col: int
+    func: str
+    locks: Tuple[str, ...] = ()
+
+    def to_dict(self) -> List[object]:
+        return [self.what, self.line, self.col, self.func,
+                list(self.locks)]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "BlockingCall":
+        return cls(str(d[0]), int(d[1]), int(d[2]), str(d[3]),
+                   tuple(str(v) for v in d[4]))
+
+
+@dataclass
+class ModuleConcurrency:
+    """All concurrency facts extracted from one module."""
+
+    spawns: List[SpawnSite] = field(default_factory=list)
+    acquires: List[LockAcquire] = field(default_factory=list)
+    mutations: List[MutationSite] = field(default_factory=list)
+    #: ``(attr, func)`` read sites, deduplicated.
+    reads: List[Tuple[str, str]] = field(default_factory=list)
+    locked_calls: List[LockedCall] = field(default_factory=list)
+    blocking: List[BlockingCall] = field(default_factory=list)
+    #: attribute ("Class.attr") -> declared guard lock attribute name.
+    guards: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spawns": [s.to_dict() for s in self.spawns],
+                "acquires": [a.to_dict() for a in self.acquires],
+                "mutations": [m.to_dict() for m in self.mutations],
+                "reads": [list(r) for r in self.reads],
+                "locked_calls": [c.to_dict()
+                                 for c in self.locked_calls],
+                "blocking": [b.to_dict() for b in self.blocking],
+                "guards": dict(self.guards)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ModuleConcurrency":
+        return cls(
+            spawns=[SpawnSite.from_dict(s) for s in d["spawns"]],
+            acquires=[LockAcquire.from_dict(a) for a in d["acquires"]],
+            mutations=[MutationSite.from_dict(m)
+                       for m in d["mutations"]],
+            reads=[(str(r[0]), str(r[1])) for r in d["reads"]],
+            locked_calls=[LockedCall.from_dict(c)
+                          for c in d["locked_calls"]],
+            blocking=[BlockingCall.from_dict(b)
+                      for b in d["blocking"]],
+            guards={str(k): str(v)
+                    for k, v in d["guards"].items()})
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+class _FunctionConcurrencyScanner:
+    """Scan one function body tracking the held-lock stack."""
+
+    def __init__(self, facts: ModuleConcurrency, imports: ImportMap,
+                 own_class: Optional[str], qualname: str,
+                 lines: Sequence[str], reads: Set[Tuple[str, str]]):
+        self.facts = facts
+        self.imports = imports
+        self.own_class = own_class
+        self.qualname = qualname
+        self.lines = lines
+        self.reads = reads
+        self._nested: Set[str] = set()
+
+    def scan(self, node: ast.AST) -> None:
+        self._nested = {sub.name for sub in ast.walk(node)
+                        if isinstance(sub, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))
+                        and sub is not node}
+        self._scan_body(node.body, ())
+
+    # -- statement walk ------------------------------------------------
+    def _scan_body(self, stmts: Sequence[ast.stmt],
+                   locks: Tuple[str, ...]) -> None:
+        for stmt in stmts:
+            self._scan_stmt(stmt, locks)
+
+    def _scan_stmt(self, stmt: ast.stmt,
+                   locks: Tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def's body runs later, with unknown locks held.
+            self._scan_body(stmt.body, ())
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = locks
+            for item in stmt.items:
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    self.facts.acquires.append(LockAcquire(
+                        lock=lock, line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset,
+                        func=self.qualname, held=inner))
+                    inner = inner + (lock,)
+                else:
+                    self._scan_expr(item.context_expr, locks)
+            self._scan_body(stmt.body, inner)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._maybe_guard(stmt, stmt.targets)
+            for target in stmt.targets:
+                self._mutation_target(target, "assign", locks)
+            self._scan_expr(stmt.value, locks)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            self._maybe_guard(stmt, [stmt.target])
+            if stmt.value is not None:
+                self._mutation_target(stmt.target, "assign", locks)
+                self._scan_expr(stmt.value, locks)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._mutation_target(stmt.target, "aug", locks)
+            self._scan_expr(stmt.value, locks)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._mutation_target(target, "del", locks)
+            return
+        # Generic compound/simple statement: recurse into child
+        # statement lists with the same locks; scan expressions.
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.stmt):
+                self._scan_stmt(value, locks)
+            elif isinstance(value, ast.ExceptHandler):
+                self._scan_body(value.body, locks)
+            elif isinstance(value, ast.expr):
+                self._scan_expr(value, locks)
+
+    # -- expressions ---------------------------------------------------
+    def _scan_expr(self, expr: ast.expr,
+                   locks: Tuple[str, ...]) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                self._handle_call(sub, locks)
+            elif (isinstance(sub, ast.Attribute)
+                    and isinstance(sub.ctx, ast.Load)):
+                attr = self._self_attr(sub)
+                if attr is not None:
+                    self.reads.add((attr, self.qualname))
+
+    def _handle_call(self, call: ast.Call,
+                     locks: Tuple[str, ...]) -> None:
+        spawn = self._spawn_kind(call)
+        if spawn is not None:
+            self.facts.spawns.append(SpawnSite(
+                kind=spawn, target=self._spawn_target(call),
+                line=call.lineno, col=call.col_offset,
+                func=self.qualname))
+        what = self._blocking_what(call)
+        if what is not None:
+            self.facts.blocking.append(BlockingCall(
+                what=what, line=call.lineno, col=call.col_offset,
+                func=self.qualname, locks=locks))
+        # Mutating method on a self attribute counts as a write.
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS):
+            attr = self._self_attr(func.value)
+            if attr is not None:
+                self.facts.mutations.append(MutationSite(
+                    attr=attr, kind=f"method:{func.attr}",
+                    line=call.lineno, col=call.col_offset,
+                    func=self.qualname, locks=locks))
+        if locks:
+            callee = self._encode_callee(func)
+            if callee is not None:
+                self.facts.locked_calls.append(LockedCall(
+                    callee=callee, line=call.lineno,
+                    col=call.col_offset, func=self.qualname,
+                    locks=locks))
+
+    # -- classification helpers ---------------------------------------
+    def _self_attr(self, expr: ast.expr) -> Optional[str]:
+        """``self.x`` -> ``Class.x`` inside a method, else None."""
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and self.own_class):
+            return f"{self.own_class}.{expr.attr}"
+        return None
+
+    def _lock_of(self, expr: ast.expr) -> Optional[str]:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and self.own_class
+                and LOCK_NAME_RE.search(expr.attr)):
+            return f"{self.own_class}.{expr.attr}"
+        if isinstance(expr, ast.Name) and LOCK_NAME_RE.search(expr.id):
+            return expr.id
+        return None
+
+    def _mutation_target(self, target: ast.expr, kind: str,
+                         locks: Tuple[str, ...]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mutation_target(element, kind, locks)
+            return
+        if isinstance(target, ast.Starred):
+            self._mutation_target(target.value, kind, locks)
+            return
+        attr: Optional[str] = None
+        write_kind = kind
+        if isinstance(target, ast.Attribute):
+            attr = self._self_attr(target)
+        elif isinstance(target, ast.Subscript):
+            attr = self._self_attr(target.value)
+            if attr is not None and kind == "assign":
+                write_kind = "item"
+            self._scan_expr(target.slice, locks)
+        if attr is not None:
+            self.facts.mutations.append(MutationSite(
+                attr=attr, kind=write_kind, line=target.lineno,
+                col=target.col_offset, func=self.qualname,
+                locks=locks))
+
+    def _maybe_guard(self, stmt: ast.stmt,
+                     targets: Sequence[ast.expr]) -> None:
+        if not (0 < stmt.lineno <= len(self.lines)):
+            return
+        match = GUARD_RE.search(self.lines[stmt.lineno - 1])
+        if match is None:
+            return
+        for target in targets:
+            attr = (self._self_attr(target)
+                    if isinstance(target, ast.Attribute) else None)
+            if attr is not None:
+                self.facts.guards[attr] = match.group(1)
+
+    def _spawn_kind(self, call: ast.Call) -> Optional[str]:
+        dotted = self.imports.resolve(call.func)
+        if dotted is not None:
+            if dotted == "threading.Thread" or \
+                    dotted.endswith(".Thread"):
+                return "thread"
+            if dotted == "multiprocessing.Process" or \
+                    dotted.endswith(".Process"):
+                return "process"
+            return None
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr == "Thread":
+                return "thread"
+            if call.func.attr == "Process":
+                return "process"
+        return None
+
+    def _spawn_target(self, call: ast.Call) -> str:
+        target: Optional[ast.expr] = None
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                target = keyword.value
+        if target is None:
+            return ""
+        if isinstance(target, ast.Lambda):
+            return "lambda"
+        if isinstance(target, ast.Name):
+            if target.id in self._nested:
+                return f"nested:{target.id}"
+            return f"local:{target.id}"
+        encoded = self._encode_callee(target)
+        return encoded if encoded is not None else "?"
+
+    def _encode_callee(self, func: ast.expr) -> Optional[str]:
+        from .callgraph import encode_callee
+        return encode_callee(func, self.imports, self.own_class)
+
+    def _blocking_what(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return "open()" if func.id == "open" else None
+        dotted = self.imports.resolve(func)
+        if dotted is not None:
+            return dotted if dotted in BLOCKING_DOTTED else None
+        if (isinstance(func, ast.Attribute)
+                and func.attr in BLOCKING_METHODS
+                and not isinstance(func.value, ast.Constant)):
+            return f".{func.attr}()"
+        return None
+
+
+def extract_concurrency(tree: ast.Module, imports: ImportMap,
+                        lines: Optional[Sequence[str]] = None,
+                        ) -> ModuleConcurrency:
+    """Extract every concurrency fact from one parsed module.
+
+    ``lines`` carries the raw source lines; without them guarded-by
+    annotations (comments, invisible to the AST) cannot be read, but
+    every other fact is still extracted.
+    """
+    facts = ModuleConcurrency()
+    lines = lines or ()
+    imap = imports
+    reads: Set[Tuple[str, str]] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scanner = _FunctionConcurrencyScanner(
+                facts, imap, None, node.name, lines, reads)
+            scanner.scan(node)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    scanner = _FunctionConcurrencyScanner(
+                        facts, imap, node.name,
+                        f"{node.name}.{item.name}", lines, reads)
+                    scanner.scan(item)
+                elif isinstance(item, (ast.Assign, ast.AnnAssign)):
+                    _class_body_guard(facts, node.name, item, lines)
+    facts.reads = sorted(reads)
+    return facts
+
+
+def _class_body_guard(facts: ModuleConcurrency, class_name: str,
+                      stmt: ast.stmt,
+                      lines: Sequence[str]) -> None:
+    """Class-body ``x: T  # repro: guarded-by(_lock)`` declarations."""
+    if not (0 < stmt.lineno <= len(lines)):
+        return
+    match = GUARD_RE.search(lines[stmt.lineno - 1])
+    if match is None:
+        return
+    targets = (stmt.targets if isinstance(stmt, ast.Assign)
+               else [stmt.target])
+    for target in targets:
+        if isinstance(target, ast.Name):
+            facts.guards[f"{class_name}.{target.id}"] = match.group(1)
+
+
+# ----------------------------------------------------------------------
+# Whole-program index
+# ----------------------------------------------------------------------
+FunctionId = Tuple[str, str]       #: (module name, qualname)
+
+
+@dataclass
+class LockEdge:
+    """Directed lock-order edge with its first witnessed site."""
+
+    source: str                    #: qualified lock "module:C._lock"
+    target: str
+    module: str
+    line: int
+    col: int
+    func: str
+    via: Optional[str] = None      #: callee qualname for call edges
+
+
+class ConcurrencyIndex:
+    """Cross-module view the REP7xx rules (and ``--locks``) query.
+
+    Built once per analysis run from the per-module facts; memoised on
+    the project graph instance so the five rules share one build.
+    """
+
+    def __init__(self, project: ProjectGraph,
+                 config: AnalysisConfig) -> None:
+        self.project = project
+        self.config = config
+        #: qualified attr -> list of (module, MutationSite)
+        self.mutations: Dict[str, List[Tuple[str, MutationSite]]] = {}
+        #: qualified attr -> set of FunctionIds that read or write it
+        self.accesses: Dict[str, Set[FunctionId]] = {}
+        #: qualified attr -> qualified guard lock
+        self.guards: Dict[str, str] = {}
+        self.spawns: List[Tuple[str, SpawnSite]] = []
+        self.worker_reachable: Set[FunctionId] = set()
+        self.foreground_reachable: Set[FunctionId] = set()
+        self.lock_edges: List[LockEdge] = []
+        self._build()
+
+    # -- construction --------------------------------------------------
+    def _build(self) -> None:
+        project = self.project
+        for module in sorted(project.modules):
+            facts = project.modules[module].concurrency
+            for mutation in facts.mutations:
+                attr = f"{module}:{mutation.attr}"
+                self.mutations.setdefault(attr, []).append(
+                    (module, mutation))
+                self.accesses.setdefault(attr, set()).add(
+                    (module, mutation.func))
+            for attr, func in facts.reads:
+                self.accesses.setdefault(f"{module}:{attr}",
+                                         set()).add((module, func))
+            for attr, lock in facts.guards.items():
+                owner = attr.rsplit(".", 1)[0]
+                self.guards[f"{module}:{attr}"] = \
+                    f"{module}:{owner}.{lock}"
+            for spawn in facts.spawns:
+                self.spawns.append((module, spawn))
+        self.worker_reachable = self._reachable(self._worker_roots())
+        self.foreground_reachable = self._reachable(
+            self._parse_roots(self.config.concurrency_foreground_roots))
+        self._build_lock_graph()
+
+    def _worker_roots(self) -> Set[FunctionId]:
+        roots = self._parse_roots(self.config.concurrency_worker_roots)
+        for module, spawn in self.spawns:
+            if not spawn.target or spawn.target in ("lambda", "?") \
+                    or spawn.target.startswith("nested:"):
+                continue
+            ref = self.project.resolve_call_ref(module, spawn.target)
+            if ref is not None:
+                roots.add((ref[0], ref[1].qualname))
+        return roots
+
+    def _parse_roots(self, specs: Sequence[str]) -> Set[FunctionId]:
+        roots: Set[FunctionId] = set()
+        for spec in specs:
+            module, _, qualname = spec.partition(":")
+            summary = self.project.modules.get(module)
+            if summary is None:
+                continue
+            if qualname in summary.functions.functions:
+                roots.add((module, qualname))
+        return roots
+
+    def _reachable(self, roots: Set[FunctionId]) -> Set[FunctionId]:
+        seen = set(roots)
+        frontier = list(roots)
+        while frontier:
+            module, qualname = frontier.pop()
+            summary = self.project.modules.get(module)
+            if summary is None:
+                continue
+            info = summary.functions.functions.get(qualname)
+            if info is None:
+                continue
+            for call in info.calls:
+                ref = self.project.resolve_call_ref(module, call.callee)
+                if ref is None:
+                    continue
+                fid = (ref[0], ref[1].qualname)
+                if fid not in seen:
+                    seen.add(fid)
+                    frontier.append(fid)
+        return seen
+
+    # -- lock graph ----------------------------------------------------
+    def _qualify_lock(self, module: str, lock: str) -> str:
+        return f"{module}:{lock}"
+
+    def _build_lock_graph(self) -> None:
+        project = self.project
+        edges: Dict[Tuple[str, str], LockEdge] = {}
+
+        def add_edge(edge: LockEdge) -> None:
+            edges.setdefault((edge.source, edge.target), edge)
+
+        # Direct acquires per function, for the transitive closure.
+        direct: Dict[FunctionId, Set[str]] = {}
+        calls_of: Dict[FunctionId, List[str]] = {}
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            for acquire in summary.concurrency.acquires:
+                fid = (module, acquire.func)
+                lock = self._qualify_lock(module, acquire.lock)
+                direct.setdefault(fid, set()).add(lock)
+                if acquire.held:
+                    add_edge(LockEdge(
+                        source=self._qualify_lock(module,
+                                                  acquire.held[-1]),
+                        target=lock, module=module,
+                        line=acquire.line, col=acquire.col,
+                        func=acquire.func))
+            for qualname, info in summary.functions.functions.items():
+                calls_of[(module, qualname)] = [c.callee
+                                                for c in info.calls]
+        # Fixed point: locks a function may acquire transitively.
+        trans: Dict[FunctionId, Set[str]] = {
+            fid: set(locks) for fid, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for fid, callees in calls_of.items():
+                acc = trans.get(fid)
+                for callee in callees:
+                    ref = project.resolve_call_ref(fid[0], callee)
+                    if ref is None:
+                        continue
+                    sub = trans.get((ref[0], ref[1].qualname))
+                    if not sub:
+                        continue
+                    if acc is None:
+                        acc = trans.setdefault(fid, set())
+                    before = len(acc)
+                    acc |= sub
+                    if len(acc) != before:
+                        changed = True
+        self._transitive_locks = trans
+        # Call edges: holding H, calling a function that may acquire L.
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            for call in summary.concurrency.locked_calls:
+                ref = project.resolve_call_ref(module, call.callee)
+                if ref is None:
+                    continue
+                sub = trans.get((ref[0], ref[1].qualname))
+                if not sub:
+                    continue
+                held = self._qualify_lock(module, call.locks[-1])
+                for lock in sorted(sub):
+                    add_edge(LockEdge(
+                        source=held, target=lock, module=module,
+                        line=call.line, col=call.col, func=call.func,
+                        via=ref[1].qualname))
+        self.lock_edges = [edges[key] for key in sorted(edges)]
+
+    def lock_nodes(self) -> List[str]:
+        nodes = {e.source for e in self.lock_edges}
+        nodes |= {e.target for e in self.lock_edges}
+        for module in sorted(self.project.modules):
+            for acquire in \
+                    self.project.modules[module].concurrency.acquires:
+                nodes.add(self._qualify_lock(module, acquire.lock))
+        return sorted(nodes)
+
+    def lock_cycles(self) -> List[List[str]]:
+        """Lock-order SCCs of size > 1 plus re-acquisition self-loops."""
+        adjacency: Dict[str, List[str]] = {n: []
+                                           for n in self.lock_nodes()}
+        for edge in self.lock_edges:
+            adjacency.setdefault(edge.source, []).append(edge.target)
+            adjacency.setdefault(edge.target, [])
+        cycles = [sorted(scc) for scc in _tarjan(adjacency)
+                  if len(scc) > 1]
+        for edge in self.lock_edges:
+            if edge.source == edge.target:
+                cycles.append([edge.source])
+        return sorted(cycles)
+
+    def edge_between(self, source: str,
+                     target: str) -> Optional[LockEdge]:
+        for edge in self.lock_edges:
+            if edge.source == source and edge.target == target:
+                return edge
+        return None
+
+    def may_block(self, fid: FunctionId,
+                  _seen: Optional[Set[FunctionId]] = None,
+                  ) -> Optional[BlockingCall]:
+        """First blocking call reachable from ``fid``, if any."""
+        seen = _seen if _seen is not None else set()
+        if fid in seen:
+            return None
+        seen.add(fid)
+        summary = self.project.modules.get(fid[0])
+        if summary is None:
+            return None
+        for blocking in summary.concurrency.blocking:
+            if blocking.func == fid[1]:
+                return blocking
+        info = summary.functions.functions.get(fid[1])
+        if info is None:
+            return None
+        for call in info.calls:
+            ref = self.project.resolve_call_ref(fid[0], call.callee)
+            if ref is None:
+                continue
+            found = self.may_block((ref[0], ref[1].qualname), seen)
+            if found is not None:
+                return found
+        return None
+
+
+def concurrency_index(project: ProjectGraph,
+                      config: AnalysisConfig) -> ConcurrencyIndex:
+    """The (memoised) concurrency index for one analysis run."""
+    cached = getattr(project, "_concurrency_index", None)
+    if cached is not None and cached.config is config:
+        return cached
+    index = ConcurrencyIndex(project, config)
+    project._concurrency_index = index    # type: ignore[attr-defined]
+    return index
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _in_prefixes(key: str, prefixes: Sequence[str]) -> bool:
+    return any(key == p or key.startswith(p) for p in prefixes)
+
+
+@register_graph
+class ThreadEscapeRule(GraphRule):
+    """Worker/foreground shared attributes must be lock-guarded."""
+
+    id = "REP701"
+    title = "thread-escape"
+    severity = Severity.ERROR
+    description = (
+        "an instance attribute reachable from both a worker context "
+        "(a threading.Thread / process-worker target and everything "
+        "it calls) and the foreground path (the configured entry "
+        "points, e.g. NoisyLabelPlatform.submit) is shared mutable "
+        "state; mutating it without holding a lock is a data race "
+        "that surfaces as nondeterministic verdicts.  Guard the "
+        "attribute and declare the contract with '# repro: "
+        "guarded-by(<lock>)' (checked by REP702), or noqa with the "
+        "single-writer justification.  Scope: "
+        "config.concurrency_shared_state_prefixes.")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        index = concurrency_index(project, config)
+        workers = index.worker_reachable
+        foreground = index.foreground_reachable
+        if not workers or not foreground:
+            return
+        for attr in sorted(index.mutations):
+            module = attr.partition(":")[0]
+            summary = project.modules.get(module)
+            if summary is None or not _in_prefixes(
+                    summary.key,
+                    config.concurrency_shared_state_prefixes):
+                continue
+            if attr in index.guards:
+                continue           # contract declared; REP702 enforces
+            accesses = index.accesses.get(attr, set())
+            writers = {(m, s.func) for m, s in index.mutations[attr]}
+            shared = ((writers & workers and accesses & foreground)
+                      or (writers & foreground and accesses & workers))
+            if not shared:
+                continue
+            local = attr.partition(":")[2]
+            for mod, site in index.mutations[attr]:
+                if site.locks or site.func.endswith(".__init__"):
+                    continue
+                yield (mod, site.line, site.col,
+                       f"{local} is shared between a worker context "
+                       f"and the foreground path but "
+                       f"{site.func}() mutates it without holding a "
+                       f"lock; guard it and declare '# repro: "
+                       f"guarded-by(<lock>)'")
+
+
+@register_graph
+class GuardedByRule(GraphRule):
+    """Declared guarded-by contracts hold at every mutation site."""
+
+    id = "REP702"
+    title = "guarded-by"
+    severity = Severity.ERROR
+    description = (
+        "an attribute annotated '# repro: guarded-by(_lock)' on its "
+        "initialisation line must only ever be mutated inside "
+        "'with self._lock:'; __init__ is exempt (the instance is not "
+        "yet shared).  The annotation is the documented concurrency "
+        "contract — this rule is what keeps it true.")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        index = concurrency_index(project, config)
+        for attr in sorted(index.guards):
+            guard = index.guards[attr]
+            owner = attr.partition(":")[2].rsplit(".", 1)[0]
+            for module, site in index.mutations.get(attr, ()):
+                if site.func == f"{owner}.__init__":
+                    continue
+                held = {index._qualify_lock(module, lock)
+                        for lock in site.locks}
+                if guard in held:
+                    continue
+                local = attr.partition(":")[2]
+                lock_attr = guard.rpartition(".")[2]
+                yield (module, site.line, site.col,
+                       f"{site.func}() mutates {local} outside its "
+                       f"declared guard; the guarded-by({lock_attr}) "
+                       f"contract requires 'with self.{lock_attr}:' "
+                       f"around every mutation")
+
+
+@register_graph
+class LockOrderRule(GraphRule):
+    """The lock-order graph must stay acyclic (and non-reentrant)."""
+
+    id = "REP703"
+    title = "lock-order"
+    severity = Severity.ERROR
+    description = (
+        "nested 'with lock:' acquisitions — direct or through calls "
+        "made while holding a lock — form a lock-order graph; a cycle "
+        "means two threads can each hold one lock of the cycle while "
+        "waiting for another, i.e. deadlock.  A self-edge is a "
+        "re-acquisition of a held threading.Lock, which deadlocks "
+        "immediately (Lock is not reentrant).  Inspect the graph with "
+        "'repro deps --locks'.")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        index = concurrency_index(project, config)
+        for cycle in index.lock_cycles():
+            if len(cycle) == 1:
+                edge = index.edge_between(cycle[0], cycle[0])
+                if edge is None:
+                    continue
+                yield (edge.module, edge.line, edge.col,
+                       f"lock {cycle[0]} is acquired while already "
+                       f"held (threading.Lock is not reentrant): "
+                       f"guaranteed deadlock in {edge.func}()")
+                continue
+            edge = index.edge_between(cycle[0], cycle[1]) \
+                or index.edge_between(cycle[1], cycle[0])
+            if edge is None:
+                continue
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield (edge.module, edge.line, edge.col,
+                   f"lock-order cycle (potential deadlock): {chain}; "
+                   f"acquire these locks in one global order")
+
+
+@register_graph
+class ProcessTargetRule(GraphRule):
+    """Process-worker targets must be module-level functions."""
+
+    id = "REP704"
+    title = "process-target"
+    severity = Severity.ERROR
+    description = (
+        "a process worker's target is pickled and shipped to the "
+        "child: lambdas and nested functions fail outright under the "
+        "spawn start method, and a bound method drags the entire "
+        "instance — locks, threads, live arrays — into the payload "
+        "(or into the fork snapshot).  Ship a module-level function "
+        "and pass plain data, like updater._process_worker does.")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        index = concurrency_index(project, config)
+        for module, spawn in index.spawns:
+            if spawn.kind != "process":
+                continue
+            if spawn.target == "lambda":
+                yield (module, spawn.line, spawn.col,
+                       "process worker target is a lambda; lambdas "
+                       "do not pickle — use a module-level function")
+            elif spawn.target.startswith("nested:"):
+                name = spawn.target.partition(":")[2]
+                yield (module, spawn.line, spawn.col,
+                       f"process worker target {name}() is a nested "
+                       f"function; it does not pickle under spawn — "
+                       f"move it to module level")
+            elif spawn.target.startswith("self:"):
+                spec = spawn.target.partition(":")[2]
+                yield (module, spawn.line, spawn.col,
+                       f"process worker target self.{spec.split('.')[-1]} "
+                       f"is a bound method; pickling it ships the "
+                       f"whole instance (locks, threads, arrays) — "
+                       f"use a module-level function taking plain "
+                       f"data")
+
+
+@register_graph
+class BlockingUnderLockRule(GraphRule):
+    """No sleeping/joining/file I/O while holding a lock."""
+
+    id = "REP705"
+    title = "blocking-under-lock"
+    severity = Severity.WARNING
+    description = (
+        "a blocking call (time.sleep, worker .join()/.recv()/.wait(), "
+        "open()) made while holding a lock stalls every thread "
+        "contending for that lock for the full blocking duration — on "
+        "the submit hot path that turns one slow worker into a "
+        "platform-wide stall.  Move the blocking call outside the "
+        "'with' block (collect under the lock, act after it), as "
+        "updater._collect/_abandon_worker do.")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        index = concurrency_index(project, config)
+        for module in sorted(project.modules):
+            facts = project.modules[module].concurrency
+            for blocking in facts.blocking:
+                if not blocking.locks:
+                    continue
+                lock = index._qualify_lock(module, blocking.locks[-1])
+                yield (module, blocking.line, blocking.col,
+                       f"blocking call {blocking.what} while holding "
+                       f"{lock} in {blocking.func}(); release the "
+                       f"lock first")
+            for call in facts.locked_calls:
+                ref = project.resolve_call_ref(module, call.callee)
+                if ref is None:
+                    continue
+                blocking = index.may_block((ref[0], ref[1].qualname))
+                if blocking is None:
+                    continue
+                lock = index._qualify_lock(module, call.locks[-1])
+                yield (module, call.line, call.col,
+                       f"{call.func}() calls {ref[1].qualname}() "
+                       f"while holding {lock}, and it may block "
+                       f"({blocking.what} at {ref[0]}:{blocking.line})"
+                       f"; release the lock first")
+
+
+# ----------------------------------------------------------------------
+# Lock-graph export (``repro deps --locks``)
+# ----------------------------------------------------------------------
+def render_locks_text(index: ConcurrencyIndex) -> str:
+    """One line per lock-order edge, plus isolated locks."""
+    out: List[str] = []
+    edge_sources = {e.source for e in index.lock_edges}
+    edge_targets = {e.target for e in index.lock_edges}
+    for node in index.lock_nodes():
+        if node not in edge_sources and node not in edge_targets:
+            out.append(node)
+    for edge in index.lock_edges:
+        via = f" (via {edge.via}())" if edge.via else ""
+        out.append(f"{edge.source} -> {edge.target}{via} "
+                   f"[{edge.module}:{edge.line}]")
+    return "\n".join(out)
+
+
+def render_locks_dot(index: ConcurrencyIndex) -> str:
+    """Graphviz DOT of the lock-order graph; cycle edges red."""
+    cycle_nodes = {node for cycle in index.lock_cycles()
+                   for node in cycle}
+    out = ["digraph repro_locks {", "  rankdir=LR;",
+           "  node [shape=box, fontsize=10];"]
+    for node in index.lock_nodes():
+        style = ', color=red' if node in cycle_nodes else ""
+        out.append(f'  "{node}" [label="{node}"{style}];')
+    for edge in index.lock_edges:
+        label = f"via {edge.via}()" if edge.via else \
+            f"{edge.module}:{edge.line}"
+        color = ", color=red" if (edge.source in cycle_nodes
+                                  and edge.target in cycle_nodes) \
+            else ""
+        out.append(f'  "{edge.source}" -> "{edge.target}" '
+                   f'[label="{label}", fontsize=9{color}];')
+    out.append("}")
+    return "\n".join(out)

@@ -77,6 +77,41 @@ FACADE_IMPORTS: Dict[str, str] = {
     "repro.eval.timer:Stopwatch": "repro.obs.clock",
 }
 
+#: Foreground entry points for the REP701 thread-escape analysis, as
+#: ``dotted.module:Qualified.name``.  Everything reachable from these
+#: (via resolvable calls) is "foreground"; everything reachable from a
+#: spawn-site target is "worker"; attributes mutated on one side and
+#: touched on the other are shared state.  The updater's public
+#: surface is listed explicitly because the call encoder cannot see
+#: through ``self.update_service.poll()`` (attribute-on-attribute
+#: receivers are unresolvable by design).
+CONCURRENCY_FOREGROUND_ROOTS: Tuple[str, ...] = (
+    "repro.datalake.platform:NoisyLabelPlatform.submit",
+    "repro.datalake.platform:NoisyLabelPlatform.update_model",
+    "repro.datalake.platform:NoisyLabelPlatform.checkpoint",
+    "repro.datalake.platform:NoisyLabelPlatform.resume",
+    "repro.datalake.updater:ModelUpdateService.request_update",
+    "repro.datalake.updater:ModelUpdateService.run_sync",
+    "repro.datalake.updater:ModelUpdateService.poll",
+    "repro.datalake.updater:ModelUpdateService.wait",
+    "repro.datalake.updater:ModelUpdateService.cancel_pending",
+    "repro.datalake.updater:ModelUpdateService.status",
+)
+
+#: Extra worker-context roots (same syntax) beyond what spawn-site
+#: target resolution discovers automatically.
+CONCURRENCY_WORKER_ROOTS: Tuple[str, ...] = ()
+
+#: Module-key prefixes whose instance attributes REP701 polices.
+#: Scoped to the layers that actually cross the worker boundary — the
+#: nn model internals a worker *clone* trains are thread-private by
+#: construction and would only produce noise.
+CONCURRENCY_SHARED_STATE_PREFIXES: Tuple[str, ...] = (
+    "repro/datalake/",
+    "repro/obs/",
+    "repro/nn/featurecache.py",
+)
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -124,6 +159,18 @@ class AnalysisConfig:
     #: holding an RNG must bind these on every project callee that
     #: declares one with a default (the silent-fallback case).
     rng_param_names: Tuple[str, ...] = ("rng", "generator")
+
+    #: Foreground entry points for REP701 thread-escape analysis.
+    concurrency_foreground_roots: Tuple[str, ...] = \
+        CONCURRENCY_FOREGROUND_ROOTS
+
+    #: Extra worker-context roots beyond resolved spawn targets.
+    concurrency_worker_roots: Tuple[str, ...] = \
+        CONCURRENCY_WORKER_ROOTS
+
+    #: Module-key prefixes whose attributes REP701 polices.
+    concurrency_shared_state_prefixes: Tuple[str, ...] = \
+        CONCURRENCY_SHARED_STATE_PREFIXES
 
 
 DEFAULT_CONFIG = AnalysisConfig()

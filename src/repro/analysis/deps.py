@@ -45,7 +45,8 @@ def build_graph(paths: List[str]) -> ProjectGraph:
         except SyntaxError:
             continue
         summaries.append(
-            (path, ModuleSummary.build(tree, module_key(path, root))))
+            (path, ModuleSummary.build(tree, module_key(path, root),
+                                       lines=source.splitlines())))
     return ProjectGraph.build(summaries)
 
 
@@ -158,11 +159,25 @@ def add_parser(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--why", nargs=2, metavar=("SOURCE", "TARGET"),
                    help="shortest runtime import chain from SOURCE "
                         "to TARGET; exit 1 when there is none")
+    p.add_argument("--locks", action="store_true",
+                   help="render the REP703 lock-order graph instead "
+                        "of the import graph (text or dot); exit 1 "
+                        "when it has a cycle")
     p.set_defaults(fn=cmd_deps)
 
 
 def cmd_deps(args: argparse.Namespace) -> int:
     graph = build_graph(args.paths)
+    if args.locks:
+        from .concurrency import (concurrency_index,
+                                  render_locks_dot, render_locks_text)
+        from .config import DEFAULT_CONFIG
+        index = concurrency_index(graph, DEFAULT_CONFIG)
+        if args.format == "dot":
+            print(render_locks_dot(index))
+        else:
+            print(render_locks_text(index))
+        return 1 if index.lock_cycles() else 0
     if args.cycles:
         cycles = graph.cycles()
         if not cycles:

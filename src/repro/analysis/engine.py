@@ -37,6 +37,10 @@ from .findings import (SUPPRESSED_BASELINE, AnalysisResult, Finding,
                        Severity)
 from .graph import ModuleSummary, ProjectGraph
 from .rules import ModuleContext, all_graph_rules, all_rules
+# Importing the module registers the REP7xx graph rules (they live in
+# their own module to keep rules.py free of a rules <-> concurrency
+# import cycle).
+from . import concurrency as _concurrency  # noqa: F401
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
@@ -150,7 +154,7 @@ def _analyze_module(source: str, path: str, key: str,
     _assign_occurrences(findings)
     _apply_noqa(findings, lines)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, ModuleSummary.build(tree, key)
+    return findings, ModuleSummary.build(tree, key, lines=lines)
 
 
 def analyze_source(source: str, path: str,

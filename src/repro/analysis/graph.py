@@ -26,11 +26,21 @@ produces a finding.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 from .callgraph import FunctionInfo, ModuleFunctions
 from .symbols import (ImportRecord, ModuleSymbols, absolutize,
                       is_package_key, module_name_from_key)
+
+if TYPE_CHECKING:
+    from .concurrency import ModuleConcurrency
+
+
+def _empty_concurrency() -> "ModuleConcurrency":
+    # Deferred: concurrency.py imports this module at the top level.
+    from .concurrency import ModuleConcurrency
+    return ModuleConcurrency()
 
 
 @dataclass
@@ -43,28 +53,42 @@ class ModuleSummary:
     imports: List[ImportRecord] = field(default_factory=list)
     symbols: ModuleSymbols = field(default_factory=ModuleSymbols)
     functions: ModuleFunctions = field(default_factory=ModuleFunctions)
+    concurrency: "ModuleConcurrency" = field(
+        default_factory=_empty_concurrency)
 
     def to_dict(self) -> Dict[str, object]:
         return {"key": self.key, "name": self.name,
                 "is_package": self.is_package,
                 "imports": [r.to_dict() for r in self.imports],
                 "symbols": self.symbols.to_dict(),
-                "functions": self.functions.to_dict()}
+                "functions": self.functions.to_dict(),
+                "concurrency": self.concurrency.to_dict()}
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "ModuleSummary":
+        from .concurrency import ModuleConcurrency
         return cls(key=str(d["key"]), name=str(d["name"]),
                    is_package=bool(d["is_package"]),
                    imports=[ImportRecord.from_dict(r)
                             for r in d["imports"]],
                    symbols=ModuleSymbols.from_dict(d["symbols"]),
-                   functions=ModuleFunctions.from_dict(d["functions"]))
+                   functions=ModuleFunctions.from_dict(d["functions"]),
+                   concurrency=ModuleConcurrency.from_dict(
+                       d["concurrency"]))
 
     @classmethod
-    def build(cls, tree, key: str) -> "ModuleSummary":
-        """Extract a summary from a parsed module."""
+    def build(cls, tree, key: str,
+              lines: Optional[Sequence[str]] = None) -> "ModuleSummary":
+        """Extract a summary from a parsed module.
+
+        ``lines`` carries the raw source lines so the concurrency
+        extractor can read ``# repro: guarded-by(...)`` annotations
+        (comments are invisible to the AST); without them every other
+        fact is still extracted.
+        """
         from .rules import ImportMap
         from .callgraph import extract_functions
+        from .concurrency import extract_concurrency
         from .symbols import extract_symbols
 
         name = module_name_from_key(key)
@@ -72,9 +96,10 @@ class ModuleSummary:
         imap = ImportMap(tree)
         imports, symbols = extract_symbols(tree, name, package, imap)
         functions = extract_functions(tree, imap)
+        concurrency = extract_concurrency(tree, imap, lines)
         return cls(key=key, name=name, is_package=package,
                    imports=imports, symbols=symbols,
-                   functions=functions)
+                   functions=functions, concurrency=concurrency)
 
 
 @dataclass
@@ -292,12 +317,22 @@ class ProjectGraph:
         instantiation (resolving to ``Class.__init__``).  Returns None
         whenever the target is external or ambiguous.
         """
+        ref = self.resolve_call_ref(caller_module, callee)
+        return ref[1] if ref is not None else None
+
+    def resolve_call_ref(self, caller_module: str, callee: str,
+                         ) -> Optional[Tuple[str, FunctionInfo]]:
+        """Like :meth:`resolve_call` but also returns the module the
+        function was found in — the concurrency index needs the
+        ``(module, qualname)`` pair to walk reachability."""
         kind, _, spec = callee.partition(":")
         if kind == "self":
-            return self._lookup_function(caller_module, spec)
+            info = self._lookup_function(caller_module, spec)
+            return (caller_module, info) if info is not None else None
         if kind == "local":
             module, name = self.symbol_origin(caller_module, spec)
-            return self._lookup_function(module, name)
+            info = self._lookup_function(module, name)
+            return (module, info) if info is not None else None
         if kind == "dotted":
             module = self._deepest_module(spec)
             if module is None:
@@ -306,7 +341,8 @@ class ProjectGraph:
             if not rest or "." in rest:
                 return None
             module, name = self.symbol_origin(module, rest)
-            return self._lookup_function(module, name)
+            info = self._lookup_function(module, name)
+            return (module, info) if info is not None else None
         return None
 
     def _lookup_function(self, module: str,

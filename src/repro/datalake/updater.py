@@ -66,7 +66,8 @@ from ..core.update import UpdateResult, model_update
 from ..nn.data import LabeledDataset
 from ..nn.models import Classifier
 from ..nn.serialize import clone_module, state_digest
-from ..obs import Stopwatch, trace_span, use_span_hook
+from ..obs import (NullTracer, Stopwatch, Tracer, current_tracer,
+                   trace_span, use_span_hook, use_tracer)
 from .catalog import DataLakeCatalog, ModelVersion
 from .resilience import FailureEvent, RetryPolicy, describe_failure
 
@@ -272,10 +273,10 @@ class ModelUpdateService:
         self._conn: Optional[Connection] = None
         self._captured: Optional[Tuple[Classifier, LabeledDataset,
                                        LabeledDataset]] = None
-        self._outcome: Optional[UpdateResult] = None
-        self._error: Optional[BaseException] = None
-        self._done: bool = False
-        self._gen: int = 0
+        self._outcome: Optional[UpdateResult] = None  # repro: guarded-by(_lock)
+        self._error: Optional[BaseException] = None  # repro: guarded-by(_lock)
+        self._done: bool = False  # repro: guarded-by(_lock)
+        self._gen: int = 0  # repro: guarded-by(_lock)
         self._lock = threading.Lock()
         self._watch: Optional[Stopwatch] = None
         self._backoff_watch: Optional[Stopwatch] = None
@@ -554,9 +555,9 @@ class ModelUpdateService:
         model, i_t, i_c = (enld.model, enld.inventory_train,
                            enld.inventory_candidates)
         self._captured = (model, i_t, i_c)
-        self._gen += 1
-        gen = self._gen
         with self._lock:
+            self._gen += 1
+            gen = self._gen
             self._outcome = None
             self._error = None
             self._done = False
@@ -564,8 +565,12 @@ class ModelUpdateService:
         self._backoff_watch = None
         self._backoff_needed = 0.0
         if self._config.mode == "thread":
+            # ContextVars do not cross thread boundaries: capture the
+            # ambient tracer here so worker-side spans/counters land in
+            # the same trace as an inline run would produce.
             worker = threading.Thread(
-                target=self._thread_main, args=(gen, job, model, i_t, i_c),
+                target=self._thread_main,
+                args=(gen, job, model, i_t, i_c, current_tracer()),
                 name=f"repro-update-{job.seq}", daemon=True)
             worker.start()
             self._worker = worker
@@ -581,11 +586,14 @@ class ModelUpdateService:
             self._conn = parent
 
     def _thread_main(self, gen: int, job: UpdateJob, model: Classifier,
-                     i_t: LabeledDataset, i_c: LabeledDataset) -> None:
+                     i_t: LabeledDataset, i_c: LabeledDataset,
+                     tracer: Optional[Union[Tracer, NullTracer]] = None,
+                     ) -> None:
         outcome: Optional[UpdateResult] = None
         error: Optional[BaseException] = None
         try:
-            outcome = self._train_job(job, model, i_t, i_c)
+            with use_tracer(tracer):
+                outcome = self._train_job(job, model, i_t, i_c)
         except BaseException as exc:  # noqa: BLE001 — report, don't die
             error = exc
         with self._lock:
@@ -672,11 +680,12 @@ class ModelUpdateService:
     def _abandon_worker(self) -> None:
         """Detach from the current worker; its result is discarded."""
         worker = self._worker
-        self._gen += 1  # stale thread writers see an old gen and bail
         self._worker = None
         self._captured = None
         self._watch = None
         with self._lock:
+            # Stale thread writers see an old gen and bail.
+            self._gen += 1
             self._outcome = None
             self._error = None
             self._done = False

@@ -32,6 +32,7 @@ of a full-set forward — subsets hash and cache as their own entries.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Dict, Tuple
 
@@ -86,10 +87,11 @@ class FeatureCache:
         if max_entries < 0:
             raise ValueError("max_entries must be non-negative")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[CacheKey, ViewPair]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._entries: "OrderedDict[CacheKey, ViewPair]" = OrderedDict()  # repro: guarded-by(_lock)
+        self.hits = 0  # repro: guarded-by(_lock)
+        self.misses = 0  # repro: guarded-by(_lock)
+        self.evictions = 0  # repro: guarded-by(_lock)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -102,33 +104,46 @@ class FeatureCache:
         A hit returns the stored arrays without touching the model; a
         miss runs one fused forward pass (`predict_view`) and stores
         the result.  Outputs are bit-identical either way.
+
+        Thread-safe: the platform shares one cache between the submit
+        hot path and thread-mode update workers operating on model
+        clones.  The (expensive) forward pass on a miss deliberately
+        runs *outside* the lock — two threads missing on the same key
+        compute twice and store the identical read-only result, which
+        costs a duplicated forward but never blocks the hot path on a
+        worker's inference.
         """
         key = (weights_digest(model), array_digest(x))
-        pair = self._entries.get(key)
-        if pair is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            incr("featurecache.hits")
-            return pair
-        self.misses += 1
+        with self._lock:
+            pair = self._entries.get(key)
+            if pair is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                incr("featurecache.hits")
+                return pair
+            self.misses += 1
         incr("featurecache.misses")
         probs, features = model.predict_view(x, batch_size=batch_size)
         probs.setflags(write=False)
         features.setflags(write=False)
         if self.max_entries:
-            self._entries[key] = (probs, features)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-                incr("featurecache.evictions")
+            with self._lock:
+                self._entries[key] = (probs, features)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    incr("featurecache.evictions")
         return probs, features
 
     def invalidate(self) -> None:
         """Drop every entry (e.g. to bound memory after a model swap)."""
         incr("featurecache.invalidations")
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
         """Counters for observability reports."""
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "entries": len(self._entries)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "entries": len(self._entries)}

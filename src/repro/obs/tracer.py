@@ -137,8 +137,8 @@ class Tracer:
 
     def __init__(self) -> None:
         self.root = SpanNode("")
-        self.counters: Dict[str, Number] = {}
-        self.metrics: Dict[str, _Stat] = {}
+        self.counters: Dict[str, Number] = {}  # repro: guarded-by(_lock)
+        self.metrics: Dict[str, _Stat] = {}  # repro: guarded-by(_lock)
         self._lock = threading.Lock()
         self._local = threading.local()
 

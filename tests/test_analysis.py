@@ -338,7 +338,9 @@ class TestEngineHelpers:
                                  "REP301", "REP401", "REP501",
                                  "REP502", "REP503"]
         assert sorted(GRAPH_RULES) == ["REP601", "REP602",
-                                       "REP603", "REP604"]
+                                       "REP603", "REP604",
+                                       "REP701", "REP702",
+                                       "REP703", "REP704", "REP705"]
         assert not set(RULES) & set(GRAPH_RULES)
 
     def test_config_is_immutable(self):
