@@ -3,7 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test bench report examples lint analyze graph \
-	analyze-smoke typecheck trace-smoke bench-hotpath chaos-smoke clean
+	analyze-smoke typecheck trace-smoke bench-hotpath bench-ingest \
+	chaos-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -74,6 +75,14 @@ bench-hotpath:
 		--trace-out hotpath_trace.json \
 		--baseline benchmarks/baselines/hotpath_smoke.json
 
+# Concurrent-ingestion storm: N streams vs a 10^6-sample sharded
+# inventory; asserts bit-identical serial-vs-storm verdicts, the
+# datasets/s speedup floor and the committed counter baseline.
+bench-ingest:
+	PYTHONPATH=src $(PYTHON) -m repro ingest-storm \
+		--trace-out ingest_storm_trace.json \
+		--baseline benchmarks/baselines/ingest_storm_smoke.json
+
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q \
 		tests/test_resilience.py tests/test_checkpoint_resume.py \
@@ -89,6 +98,10 @@ chaos-smoke:
 			--fail-stage $$stage --update-every 2 \
 			--checkpoint-dir chaos_ckpt_$$stage || exit 1; \
 	done
+	# Shard-flush kill: a sharded-inventory checkpoint killed mid-flush
+	# must leave the previous generation loadable bit-identically.
+	PYTHONPATH=src $(PYTHON) -m repro chaos --arrivals 3 --times 1 \
+		--fail-stage shard_flush --checkpoint-dir chaos_ckpt_shards
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info chaos_ckpt chaos_ckpt_* \

@@ -42,6 +42,9 @@ TRACED_ENTRY_POINTS: Dict[str, FrozenSet[str]] = {
         "NoisyLabelPlatform.checkpoint",
         "NoisyLabelPlatform.resume",
     }),
+    "repro/datalake/ingest.py": frozenset({
+        "IngestPipeline.run",
+    }),
 }
 
 #: The declared layer DAG (REP602), as module-key prefixes -> rank.
@@ -96,6 +99,9 @@ CONCURRENCY_FOREGROUND_ROOTS: Tuple[str, ...] = (
     "repro.datalake.updater:ModelUpdateService.wait",
     "repro.datalake.updater:ModelUpdateService.cancel_pending",
     "repro.datalake.updater:ModelUpdateService.status",
+    "repro.datalake.ingest:IngestPipeline.run",
+    "repro.datalake.shards:ShardedInventory.add",
+    "repro.datalake.shards:ShardedInventory.save",
 )
 
 #: Extra worker-context roots (same syntax) beyond what spawn-site

@@ -305,6 +305,65 @@ def cmd_bench_hotpath(args) -> int:
     return 0
 
 
+def cmd_ingest_storm(args) -> int:
+    """Concurrent-ingestion storm bench — the second perf-bench gate.
+
+    Runs the same multi-stream arrival storm twice against identically
+    initialised platforms — sequential baseline vs the DESIGN.md §14
+    pipeline (N producer streams, bounded backpressure queue, worker
+    pool, sharded inventory) — asserts bit-identical verdicts, prints
+    the datasets/s / samples/s comparison, and — with ``--baseline`` —
+    gates the speedup ratio, the backpressure invariants and the
+    deterministic counters against the committed baseline.  The lake
+    fetch is a simulated latency, so the ratio transfers across
+    machines the same way the hotpath ratio does.
+    """
+    from .experiments.ingest_storm import (baseline_payload,
+                                           format_storm_report,
+                                           gate_ingest_storm,
+                                           run_ingest_storm)
+    from .obs import save_trace
+
+    result = run_ingest_storm(
+        samples_per_class=args.samples_per_class,
+        inventory_size=args.inventory_size, pool_size=args.pool_size,
+        num_arrivals=args.arrivals, streams=args.streams,
+        workers=args.workers, queue_capacity=args.queue_capacity,
+        rtt_seconds=args.rtt, per_sample_seconds=args.per_sample,
+        noise_rate=args.noise_rate, seed=args.seed)
+    if not args.quiet:
+        print(format_storm_report(result))
+    if args.trace_out:
+        save_trace(result, args.trace_out)
+        print(f"wrote bench result to {args.trace_out}")
+    if args.refresh_baseline:
+        save_trace(baseline_payload(result), args.refresh_baseline)
+        print(f"wrote baseline to {args.refresh_baseline}")
+        return 0
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            print(f"baseline file not found: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        violations = gate_ingest_storm(result, baseline,
+                                       tolerance=args.tolerance)
+        if violations:
+            print("ingest-storm bench gate FAILED:", file=sys.stderr)
+            for v in violations:
+                print(f"  - {v}", file=sys.stderr)
+            return 1
+        print(f"ingest-storm bench gate passed "
+              f"({result['speedup']:.2f}x vs baseline "
+              f"{baseline.get('speedup', 0.0):.2f}x)")
+    if not result["verdicts_identical"]:
+        print("serial and concurrent verdicts disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_versions(args) -> int:
     """Inspect a checkpoint's content-addressed model-version lineage.
 
@@ -472,6 +531,14 @@ def cmd_chaos(args) -> int:
     statuses.append("quarantined" if report.quarantined else "ok")
     print(f"{poison.name}: {statuses[-1]}")
 
+    shard_flush_ok = True
+    shard_injected: dict = {}
+    if "shard_flush" in fail_stages and args.checkpoint_dir:
+        shard_flush_ok, shard_injected = _chaos_shard_flush(
+            inventory, arrivals[0], spec.num_classes, args)
+        print(f"shard_flush kill + resume: "
+              f"{'bit-identical' if shard_flush_ok else 'MISMATCH'}")
+
     resume_ok = True
     if args.checkpoint_dir:
         platform.checkpoint(args.checkpoint_dir)
@@ -494,6 +561,7 @@ def cmd_chaos(args) -> int:
     update_stages = [s for s in fail_stages if s.startswith("update_")
                      or s == "model_update"]
     injected = dict(platform._fault_injector.injected)
+    injected.update(shard_injected)
     updates_exercised = all(injected.get(s, 0) >= 1
                             for s in update_stages)
     summary = {
@@ -508,11 +576,61 @@ def cmd_chaos(args) -> int:
         "pending_update": counters["pending_update"],
         "resume_ok": resume_ok,
         "updates_exercised": updates_exercised,
+        "shard_flush_ok": shard_flush_ok,
     }
     print(json.dumps(summary, indent=2))
     survived = (counters["quarantined_submissions"] >= 1 and resume_ok
-                and updates_exercised)
+                and updates_exercised and shard_flush_ok)
     return 0 if survived else 1
+
+
+def _chaos_shard_flush(inventory, arrival, num_classes: int,
+                       args) -> "tuple[bool, dict]":
+    """Kill a :meth:`ShardedInventory.save` mid-flush, verify resume.
+
+    Saves a golden generation, grows the store with one arrival, then
+    re-saves with a fault injected at the ``shard_flush`` span — the
+    kill must leave the previous manifest/payload generation intact,
+    so a load round-trips bit-identically to the golden state.  A
+    clean re-save afterwards must land the grown state.  Returns
+    ``(ok, injected_counts)``.
+    """
+    import numpy as np
+
+    from .datalake import FaultPlan, FaultRule, ShardedInventory
+    from .datalake.resilience import InjectedFault
+    from .obs import use_span_hook
+
+    directory = os.path.join(args.checkpoint_dir, "shards")
+    store = ShardedInventory.from_dataset(inventory,
+                                          num_classes=num_classes)
+    store.save(directory)
+    golden = store.as_dataset()
+    store.add(arrival)
+
+    injector = FaultPlan(
+        [FaultRule("shard_flush", probability=1.0, times=args.times)],
+        seed=args.seed).injector()
+    killed = False
+    try:
+        with use_span_hook(injector):
+            store.save(directory)
+    except InjectedFault:
+        killed = True
+
+    def same(a, b) -> bool:
+        return (np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)
+                and np.array_equal(a.ids, b.ids)
+                and ((a.true_y is None and b.true_y is None)
+                     or np.array_equal(a.true_y, b.true_y)))
+
+    after_kill = ShardedInventory.load(directory).as_dataset()
+    survived_kill = same(after_kill, golden)
+    store.save(directory)
+    after_clean = ShardedInventory.load(directory).as_dataset()
+    recovered = same(after_clean, store.as_dataset())
+    ok = killed and survived_kill and recovered
+    return ok, dict(injector.injected)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -597,6 +715,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_hot.add_argument("--quiet", action="store_true",
                        help="suppress the per-stage speedup table")
     p_hot.set_defaults(fn=cmd_bench_hotpath)
+
+    p_storm = sub.add_parser(
+        "ingest-storm",
+        help="concurrent-vs-serial ingestion bench + perf-bench gate")
+    p_storm.add_argument("--samples-per-class", type=int, default=133_000,
+                         help="world scale; the default builds the "
+                              "committed-baseline 10^6+ inventory")
+    p_storm.add_argument("--inventory-size", type=int, default=1_050_000)
+    p_storm.add_argument("--pool-size", type=int, default=4_800)
+    p_storm.add_argument("--arrivals", type=int, default=8,
+                         help="total arrivals across all streams")
+    p_storm.add_argument("--streams", type=int, default=4,
+                         help="concurrent arrival streams (split of one "
+                              "parent stream)")
+    p_storm.add_argument("--workers", type=int, default=4)
+    p_storm.add_argument("--queue-capacity", type=int, default=8)
+    p_storm.add_argument("--rtt", type=float, default=2.0,
+                         help="simulated lake-fetch round trip (s)")
+    p_storm.add_argument("--per-sample", type=float, default=0.02,
+                         help="simulated lake-fetch seconds per sample")
+    p_storm.add_argument("--noise-rate", type=float, default=0.3)
+    p_storm.add_argument("--seed", type=int, default=11)
+    p_storm.add_argument("--trace-out", dest="trace_out",
+                         help="write the full bench result JSON here")
+    p_storm.add_argument("--baseline",
+                         help="gate speedup/invariants/counters against "
+                              "this committed baseline JSON")
+    p_storm.add_argument("--tolerance", type=float, default=0.15,
+                         help="relative tolerance for the baseline gate "
+                              "(default 0.15)")
+    p_storm.add_argument("--refresh-baseline", metavar="FILE",
+                         help="write FILE from this run instead of gating")
+    p_storm.add_argument("--quiet", action="store_true",
+                         help="suppress the summary table")
+    p_storm.set_defaults(fn=cmd_ingest_storm)
 
     p_chaos = sub.add_parser(
         "chaos", help="fault-injected platform run + resume round-trip")

@@ -39,6 +39,10 @@ SwapState = Tuple[Optional[Classifier], Optional[np.ndarray],
                   Optional[LabeledDataset], Optional[LabeledDataset],
                   Set[int], int]
 
+#: By-reference detection inputs captured by :meth:`ENLD.detection_snapshot`
+#: — ``(θ, I_c, P̃)``.  Everything :meth:`ENLD.detect_stateless` reads.
+DetectionSnapshot = Tuple[Classifier, LabeledDataset, np.ndarray]
+
 
 class NotInitializedError(RuntimeError):
     """Raised when detection is requested before :meth:`ENLD.initialize`."""
@@ -127,6 +131,67 @@ class ENLD:
                 self.model, dataset, self.inventory_candidates,
                 self.cond_prob, self._rng, cache=self.feature_cache)
         result.process_seconds = watch.seconds
+        self._clean_candidate_positions.update(
+            int(p) for p in result.inventory_clean_positions)
+        if self._clean_index is not None:
+            self._extend_clean_index()
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Concurrent detection (repro.datalake.ingest)
+    # ------------------------------------------------------------------
+    def detection_snapshot(self) -> DetectionSnapshot:
+        """By-reference capture of the inputs :meth:`detect` reads.
+
+        Detection never mutates ``θ``, ``I_c`` or ``P̃`` in place (a
+        model refresh *replaces* the references), so the snapshot is
+        O(1) and stays valid across a concurrent hot-swap — workers
+        holding it keep detecting under the epoch they were dispatched
+        with while the owner decides whether that verdict is still
+        current (see :mod:`repro.datalake.ingest`).
+        """
+        self._require_initialized()
+        assert (self.model is not None
+                and self.inventory_candidates is not None
+                and self.cond_prob is not None)
+        return self.model, self.inventory_candidates, self.cond_prob
+
+    def detect_stateless(self, dataset: LabeledDataset,
+                         rng: np.random.Generator,
+                         snapshot: Optional[DetectionSnapshot] = None
+                         ) -> DetectionResult:
+        """Pure detection: same algorithm as :meth:`detect`, no state.
+
+        The verdict is a function of ``(snapshot, dataset, rng)`` only —
+        nothing on ``self`` is read besides the config-derived detector,
+        and nothing is written, so concurrent calls from worker threads
+        are safe and replay bit-identically for a fixed rng stream
+        regardless of interleaving.  Feed the result back through
+        :meth:`commit_detection` (owner thread) to take effect.
+        """
+        self._require_initialized()
+        if snapshot is None:
+            snapshot = self.detection_snapshot()
+        model, candidates, cond_prob = snapshot
+        watch = Stopwatch()
+        with watch, use_tracer(self.tracer), trace_span("detect"):
+            result = self._detector.detect(
+                model, dataset, candidates, cond_prob, rng,
+                cache=self.feature_cache
+                if model is self.model else None)
+        result.process_seconds = watch.seconds
+        return result
+
+    def commit_detection(self, result: DetectionResult) -> DetectionResult:
+        """Fold a :meth:`detect_stateless` verdict into platform state.
+
+        Owner-thread only: applies exactly the mutations
+        :meth:`detect` performs after detecting — accumulate the voted
+        clean positions into ``S_c``, extend the live clean index, and
+        record the result.
+        """
+        self._require_initialized()
         self._clean_candidate_positions.update(
             int(p) for p in result.inventory_clean_positions)
         if self._clean_index is not None:

@@ -4,10 +4,13 @@ deterministic fault injection, async model updates with versioning)."""
 
 from .catalog import (DataLakeCatalog, DetectionRecord, ModelVersion,
                       QuarantineRecord)
+from .ingest import (INGEST_MODES, IngestConfig, IngestPipeline,
+                     StormReport, arrival_rng)
 from .persistence import (append_journal, atomic_write_json, catalog_state,
                           load_catalog_state, read_journal,
                           restore_catalog_state, save_catalog)
 from .platform import NoisyLabelPlatform, SubmissionReport
+from .shards import SHARD_BACKINGS, ShardedInventory, ShardKey, bucket_of
 from .resilience import (INJECTABLE_STAGES, NO_WAIT_RETRY, FailureEvent,
                          FaultInjector, FaultPlan, FaultRule, InjectedFault,
                          RetryPolicy, admission_errors,
@@ -27,4 +30,7 @@ __all__ = ["DataLakeCatalog", "DetectionRecord", "QuarantineRecord",
            "admission_errors", "coarse_fallback_detect",
            "INJECTABLE_STAGES",
            "ModelUpdateService", "UpdaterConfig", "UpdateJob",
-           "UPDATER_MODES"]
+           "UPDATER_MODES",
+           "ShardedInventory", "ShardKey", "SHARD_BACKINGS", "bucket_of",
+           "IngestPipeline", "IngestConfig", "StormReport",
+           "INGEST_MODES", "arrival_rng"]

@@ -43,7 +43,7 @@ import dataclasses
 import json
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -64,7 +64,12 @@ from .persistence import (MODEL_WEIGHTS_FILE, PLATFORM_STATE_FILE,
 from .resilience import (FailureEvent, FaultPlan, RetryPolicy,
                          admission_errors, coarse_fallback_detect,
                          describe_failure)
+from .shards import ShardedInventory
 from .updater import ModelUpdateService, UpdaterConfig
+
+#: The platform accepts either a monolithic dataset or a sharded store
+#: (DESIGN.md §14); the latter serves the same insertion-order view.
+InventorySource = Union[LabeledDataset, ShardedInventory]
 
 # v2 embeds the async update-service state (pending job spec) so a
 # checkpoint taken mid-train re-enqueues the job on resume; v1 files
@@ -148,7 +153,7 @@ class NoisyLabelPlatform:
         :class:`~repro.datalake.catalog.ModelVersion` to the catalog.
     """
 
-    def __init__(self, inventory: LabeledDataset,
+    def __init__(self, inventory: InventorySource,
                  config: Optional[ENLDConfig] = None,
                  scheduler: Optional[UpdateScheduler] = None,
                  num_classes: Optional[int] = None,
@@ -159,6 +164,14 @@ class NoisyLabelPlatform:
                  fault_plan: Optional[FaultPlan] = None,
                  journal_path: Optional[str] = None,
                  updater: Optional[UpdaterConfig] = None) -> None:
+        self.sharded_inventory: Optional[ShardedInventory] = None
+        if isinstance(inventory, ShardedInventory):
+            # The sharded store keeps serving as the lake archive
+            # (absorb_arrival grows it); ENLD and the catalog consume
+            # its insertion-order view, bit-identical to the source
+            # dataset it was built from.
+            self.sharded_inventory = inventory
+            inventory = inventory.as_dataset()
         self.catalog = DataLakeCatalog(inventory)
         self.enld = ENLD(config)
         self.scheduler = scheduler
@@ -234,8 +247,46 @@ class NoisyLabelPlatform:
         # Land a finished background update *before* this arrival is
         # judged: the swap is atomic between submissions, so every
         # verdict is attributable to exactly one model version.
-        updated, update_failures = self._poll_update_service()
+        updated, update_failures = self.poll_updates()
 
+        report = self.admit_arrival(dataset)
+        if report is not None:
+            report.updated_model = updated
+            report.failures = update_failures + report.failures
+            return report
+
+        result, retries, failures, degraded = self._detect_resilient(dataset)
+        return self.commit_detection(
+            dataset, result, retries=retries,
+            failures=update_failures + failures,
+            degraded=degraded, updated=updated)
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (repro.datalake.ingest)
+    #
+    # submit() is these three stages run back to back on one thread.
+    # The concurrent ingestion pipeline calls them separately — poll /
+    # admit / commit stay serialized on the pipeline's owner thread
+    # while only the pure detection between admit and commit fans out
+    # to workers.
+    # ------------------------------------------------------------------
+    def poll_updates(self) -> Tuple[bool, List[FailureEvent]]:
+        """Land a finished background model update, if one is ready.
+
+        Never blocks, never raises; returns ``(swapped, failures)``.
+        """
+        return self._poll_update_service()
+
+    def admit_arrival(self, dataset: LabeledDataset
+                      ) -> Optional[SubmissionReport]:
+        """Admission control + catalog registration for one arrival.
+
+        Returns the quarantined :class:`SubmissionReport` when the
+        arrival is rejected; returns ``None`` when it was admitted and
+        registered (the caller owes a matching
+        :meth:`commit_detection`).  Owner-thread only — mutates the
+        catalog and the submission counters.
+        """
         if self.admission:
             reasons = admission_errors(dataset, self.enld.num_classes,
                                        self.catalog.arrival_names)
@@ -246,16 +297,28 @@ class NoisyLabelPlatform:
                 self.quarantined_submissions += 1
                 incr("platform.quarantined")
                 return SubmissionReport(
-                    quarantined=True, updated_model=updated,
-                    failures=update_failures
-                    + [FailureEvent(attempt=0, stage="admission",
-                                    error=r) for r in reasons])
+                    quarantined=True,
+                    failures=[FailureEvent(attempt=0, stage="admission",
+                                           error=r) for r in reasons])
 
         self.catalog.register_arrival(dataset)
         self.submissions += 1
         incr("platform.submissions")
-        result, retries, failures, degraded = self._detect_resilient(dataset)
-        failures = update_failures + failures
+        return None
+
+    def commit_detection(self, dataset: LabeledDataset,
+                         result: DetectionResult, *,
+                         retries: int = 0,
+                         failures: Optional[List[FailureEvent]] = None,
+                         degraded: bool = False,
+                         updated: bool = False) -> SubmissionReport:
+        """Record one detection outcome for an admitted arrival.
+
+        Owner-thread only: writes the :class:`DetectionRecord`,
+        accumulates the clean inventory ids, and drives the update
+        scheduler — exactly the post-detection half of :meth:`submit`.
+        """
+        failures = list(failures or [])
         record = DetectionRecord(
             dataset_name=dataset.name,
             clean_ids=dataset.ids[result.clean_mask],
@@ -291,6 +354,26 @@ class NoisyLabelPlatform:
         return SubmissionReport(result=result, record=record,
                                 updated_model=updated, degraded=degraded,
                                 retries=retries, failures=failures)
+
+    def absorb_arrival(self, dataset: LabeledDataset) -> bool:
+        """Grow the sharded lake archive with an arrival's rows.
+
+        Storage-level growth only — the live ENLD state (``θ``, ``P̃``,
+        inventory halves) is untouched; rows land incrementally in the
+        few shards their labels hash to.  No-op (returns ``False``)
+        when the platform was not built over a
+        :class:`~repro.datalake.shards.ShardedInventory`.
+        """
+        if self.sharded_inventory is None:
+            return False
+        self.sharded_inventory.add(dataset)
+        return True
+
+    def journal_report(self, dataset: LabeledDataset,
+                       report: SubmissionReport) -> None:
+        """Append one durable journal entry for a finished submission
+        (no-op without a configured ``journal_path``)."""
+        self._journal(dataset, report)
 
     def _poll_update_service(self) -> Tuple[bool, List[FailureEvent]]:
         """Advance the async update service; never blocks, never raises."""
@@ -421,7 +504,7 @@ class NoisyLabelPlatform:
             return path
 
     @classmethod
-    def resume(cls, directory: str, inventory: LabeledDataset,
+    def resume(cls, directory: str, inventory: InventorySource,
                arrivals: Sequence[LabeledDataset] = (),
                trace: bool = False,
                retry: Optional[RetryPolicy] = None,
@@ -455,6 +538,10 @@ class NoisyLabelPlatform:
             config = ENLDConfig(**state["config"])
 
             self = cls.__new__(cls)
+            self.sharded_inventory = None
+            if isinstance(inventory, ShardedInventory):
+                self.sharded_inventory = inventory
+                inventory = inventory.as_dataset()
             self.catalog = DataLakeCatalog(inventory)
             for arrival in arrivals:
                 self.catalog.register_arrival(arrival)

@@ -48,6 +48,7 @@ INJECTABLE_STAGES = (
     "detect", "initial_views", "contrastive_sampling", "warmup",
     "iteration", "fine_tune", "vote", "recompute_views", "resample",
     "model_update", "update_train", "update_swap", "update_publish",
+    "shard_flush",
 )
 
 

@@ -52,17 +52,47 @@ class ArrivalStream:
         rng = np.random.default_rng(seed)
         self._shards = make_incremental_shards(pool, plan, rng,
                                                num_classes=num_classes)
+        # Global arrival index of each shard — identity for a parent
+        # stream, a strided subset for split() children.  Corruption
+        # RNGs are keyed on these, never on the local position.
+        self._indices: List[int] = list(range(len(self._shards)))
 
     def __len__(self) -> int:
         return len(self._shards)
 
     def __iter__(self) -> Iterator[LabeledDataset]:
-        for index, shard in enumerate(self._shards):
+        for index, shard in zip(self._indices, self._shards):
             yield self._corrupt(shard, index)
 
     def arrivals(self) -> List[LabeledDataset]:
         """All arrivals materialised in order."""
         return list(iter(self))
+
+    def split(self, n: int) -> List["ArrivalStream"]:
+        """Partition the stream into ``n`` concurrent child streams.
+
+        Child ``i`` yields the parent's arrivals ``i, i+n, i+2n, …``
+        — same shard rows, same labels.  Each arrival's corruption RNG
+        stays keyed on the **parent** seed and the arrival's **global**
+        index, so the children replay deterministically no matter how
+        they are interleaved: the union of the children's arrivals is
+        exactly the parent's arrival set, bit for bit, and round-robin
+        interleaving of the children reproduces the parent's order.
+        """
+        if n < 1:
+            raise ValueError(f"cannot split a stream {n} ways")
+        children: List[ArrivalStream] = []
+        for i in range(n):
+            child = ArrivalStream.__new__(ArrivalStream)
+            child.pool = self.pool
+            child.plan = self.plan
+            child.transition = self.transition
+            child.missing_fraction = self.missing_fraction
+            child.seed = self.seed
+            child._shards = self._shards[i::n]
+            child._indices = self._indices[i::n]
+            children.append(child)
+        return children
 
     def _corrupt(self, shard: LabeledDataset,
                  index: int) -> LabeledDataset:

@@ -1,0 +1,340 @@
+"""``ingest_storm`` benchmark: concurrent vs sequential ingestion.
+
+The ENLD paper frames detection over an *incremental data lake*: many
+datasets arriving continuously against a large inventory.  A real lake
+submission is fetch-then-detect — the arrival's payload is pulled from
+lake storage (I/O latency) before the CPU/BLAS detection runs — and a
+one-at-a-time loop pays both costs serially.  The DESIGN.md §14
+pipeline overlaps them: ``N`` producer threads fetch their streams
+concurrently while the worker pool keeps detection saturated, so
+throughput approaches the detection-bound limit instead of the
+fetch+detect sum.
+
+The bench builds a 10^6+-sample world (paper-scale inventory, small
+arrivals), models the lake fetch as a deterministic per-arrival
+latency (``rtt + per_sample * n`` seconds — a *simulated* wait, so the
+measured contrast is scheduling, not noise), and runs the same storm
+twice on identically initialised platforms:
+
+- **serial** — ``IngestConfig(mode="serial")``: the sequential
+  baseline, round-robin over the split streams (exactly the parent
+  stream's arrival order);
+- **concurrent** — ``mode="thread"``: N producer streams + a worker
+  pool over a :class:`~repro.datalake.shards.ShardedInventory`-backed
+  platform.
+
+Both arms derive every detection RNG from ``(seed, dataset name)``, so
+the harness asserts **bit-identical verdicts** — the speedup is pure
+scheduling.  ``gate_ingest_storm`` is the CI perf-bench gate: verdict
+parity, the ≥2.5× datasets/s floor, the committed-baseline ratio, the
+deterministic counters, and the backpressure invariants (queue depth
+never exceeds capacity, in-flight detections never exceed the pool).
+
+Verdict fingerprints are compared in-process only and never written to
+the baseline file: absolute digests do not transfer across BLAS
+builds, while same-process parity and counter counts do.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..core.config import ENLDConfig
+from ..datalake.ingest import IngestConfig, IngestPipeline, StormReport
+from ..datalake.platform import NoisyLabelPlatform
+from ..datalake.shards import ShardedInventory
+from ..datalake.stream import ArrivalStream
+from ..datasets import generate, toy
+from ..datasets.splits import ShardPlan
+from ..nn.data import LabeledDataset
+from ..noise import corrupt_labels, pair_asymmetric
+from ..obs import Tracer, use_tracer
+
+#: Acceptance floor for concurrent-over-serial datasets/s.
+STORM_SPEEDUP_FLOOR = 2.5
+
+#: Counters gated against the baseline (all deterministic per seed).
+GATED_COUNTERS = (
+    "ingest.datasets",
+    "ingest.samples",
+    "platform.submissions",
+    "classindex.queries",
+    "detector.vote_rounds",
+)
+
+
+def make_fetch(rtt_seconds: float, per_sample_seconds: float
+               ) -> "Callable[[LabeledDataset], LabeledDataset]":
+    """A deterministic lake-fetch model: sleep ``rtt + per_sample*n``.
+
+    The wait is exact (no jitter), so serial and concurrent arms see
+    identical per-arrival latencies and the measured contrast is the
+    pipeline's overlap, not timing noise.
+    """
+
+    def fetch(dataset: LabeledDataset) -> LabeledDataset:
+        time.sleep(rtt_seconds + per_sample_seconds * len(dataset))
+        return dataset
+
+    return fetch
+
+
+def build_storm_world(num_classes: int = 8,
+                      samples_per_class: int = 133_000,
+                      inventory_size: int = 1_050_000,
+                      pool_size: int = 4_800,
+                      num_arrivals: int = 8,
+                      noise_rate: float = 0.3, seed: int = 11
+                      ) -> Tuple[LabeledDataset, ArrivalStream, int]:
+    """The paper-scale world: 10^6+ inventory, small arrival storm."""
+    spec = toy(num_classes=num_classes,
+               samples_per_class=samples_per_class)
+    data = generate(spec, seed=seed)
+    if inventory_size + pool_size > len(data):
+        raise ValueError(
+            f"{len(data)} generated samples cannot serve an inventory "
+            f"of {inventory_size} plus a pool of {pool_size}")
+    rng = np.random.default_rng(seed + 1)
+    order = rng.permutation(len(data))
+    transition = pair_asymmetric(num_classes, noise_rate)
+    inventory = corrupt_labels(
+        data.subset(order[:inventory_size], name="storm/inventory"),
+        transition, rng)
+    pool = data.subset(order[inventory_size:inventory_size + pool_size],
+                       name="storm/pool")
+    stream = ArrivalStream(
+        pool, ShardPlan(num_shards=num_arrivals, classes_per_shard=2),
+        transition=transition, num_classes=num_classes, seed=seed + 2)
+    return inventory, stream, num_classes
+
+
+def _storm_config(seed: int) -> ENLDConfig:
+    """Throughput-regime config: detection cost is index/view-bound."""
+    return ENLDConfig(
+        model_name="mlp", model_kwargs={"hidden": 48}, init_epochs=2,
+        iterations=1, steps_per_iteration=1, warmup_epochs=0,
+        contrastive_k=1, inventory_train_fraction=0.02, seed=seed)
+
+
+def _verdict_fingerprints(report: StormReport) -> Dict[str, tuple]:
+    """Per-dataset verdict digests (compared in-process only)."""
+    out: Dict[str, tuple] = {}
+    for name, submission in sorted(report.reports.items()):
+        result = submission.result
+        if result is None:
+            out[name] = ("quarantined",)
+            continue
+        out[name] = (
+            result.clean_mask.tobytes(), result.noisy_mask.tobytes(),
+            np.sort(np.asarray(
+                result.inventory_clean_positions)).tobytes(),
+            None if result.pseudo_labels is None
+            else result.pseudo_labels.tobytes())
+    return out
+
+
+def run_ingest_storm(num_classes: int = 8,
+                     samples_per_class: int = 133_000,
+                     inventory_size: int = 1_050_000,
+                     pool_size: int = 4_800,
+                     num_arrivals: int = 8,
+                     streams: int = 4, workers: int = 4,
+                     queue_capacity: int = 8,
+                     rtt_seconds: float = 2.0,
+                     per_sample_seconds: float = 0.02,
+                     noise_rate: float = 0.3, seed: int = 11,
+                     buckets_per_class: int = 4) -> dict:
+    """Run both arms of the storm; returns the full result dict."""
+    inventory, stream, n_cls = build_storm_world(
+        num_classes=num_classes, samples_per_class=samples_per_class,
+        inventory_size=inventory_size, pool_size=pool_size,
+        num_arrivals=num_arrivals, noise_rate=noise_rate, seed=seed)
+    config = _storm_config(seed + 3)
+    fetch = make_fetch(rtt_seconds, per_sample_seconds)
+
+    # Serial arm: monolithic inventory, sequential baseline.
+    serial_platform = NoisyLabelPlatform(inventory, config=config,
+                                         num_classes=n_cls)
+    serial_report = IngestPipeline(
+        serial_platform, IngestConfig(mode="serial"),
+        fetch=fetch).run(stream.split(streams))
+
+    # Concurrent arm: the same inventory behind the sharded store
+    # (bit-identical insertion-order view), N streams + worker pool.
+    sharded = ShardedInventory.from_dataset(
+        inventory, num_classes=n_cls,
+        buckets_per_class=buckets_per_class)
+    concurrent_platform = NoisyLabelPlatform(sharded, config=config,
+                                             num_classes=n_cls)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        concurrent_report = IngestPipeline(
+            concurrent_platform,
+            IngestConfig(mode="thread", workers=workers,
+                         queue_capacity=queue_capacity),
+            fetch=fetch).run(stream.split(streams))
+    trace = tracer.to_dict()
+    counters = trace.get("counters", {})
+
+    serial_fp = _verdict_fingerprints(serial_report)
+    concurrent_fp = _verdict_fingerprints(concurrent_report)
+    speedup = (serial_report.seconds
+               / max(concurrent_report.seconds, 1e-9))
+    return {
+        "meta": {
+            "num_classes": num_classes,
+            "samples_per_class": samples_per_class,
+            "inventory_size": inventory_size,
+            "pool_size": pool_size,
+            "num_arrivals": num_arrivals,
+            "streams": streams,
+            "workers": workers,
+            "queue_capacity": queue_capacity,
+            "rtt_seconds": rtt_seconds,
+            "per_sample_seconds": per_sample_seconds,
+            "noise_rate": noise_rate,
+            "seed": seed,
+            "buckets_per_class": buckets_per_class,
+            "shard_count": sharded.num_shards,
+        },
+        "serial": _arm_payload(serial_report),
+        "concurrent": _arm_payload(concurrent_report),
+        "speedup": speedup,
+        "verdicts_identical": serial_fp == concurrent_fp,
+        "counters": {name: counters.get(name, 0)
+                     for name in GATED_COUNTERS},
+        "trace": trace,
+    }
+
+
+def _arm_payload(report: StormReport) -> dict:
+    return {
+        "seconds": report.seconds,
+        "datasets": report.datasets,
+        "samples": report.samples,
+        "datasets_per_second": report.datasets_per_second,
+        "samples_per_second": report.samples_per_second,
+        "quarantined": report.quarantined,
+        "degraded": report.degraded,
+        "max_queue_depth": report.max_queue_depth,
+        "max_inflight": report.max_inflight,
+    }
+
+
+# ----------------------------------------------------------------------
+# Gating
+# ----------------------------------------------------------------------
+
+def gate_ingest_storm(result: dict, baseline: dict,
+                      tolerance: float = 0.15,
+                      speedup_tolerance: float = 0.25) -> List[str]:
+    """The perf-bench gate; returns violations (empty = pass).
+
+    Checks, in order of severity:
+
+    1. verdict parity — serial and concurrent arms must produce
+       bit-identical verdicts for every arrival;
+    2. the absolute datasets/s speedup floor
+       (``STORM_SPEEDUP_FLOOR``);
+    3. the measured speedup against the committed baseline, within
+       ``speedup_tolerance`` (the fetch latency is simulated, so the
+       ratio transfers across machines; detection-time share still
+       varies — hence the looser band);
+    4. the backpressure invariants: queue depth capped by the
+       configured capacity, in-flight detections by the worker count;
+    5. deterministic counters (datasets, samples, submissions,
+       queries, vote rounds) against the baseline within
+       ``tolerance``.
+    """
+    violations: List[str] = []
+    if not result.get("verdicts_identical", False):
+        violations.append(
+            "verdict parity: serial and concurrent arms disagree")
+    speedup = float(result.get("speedup", 0.0))
+    floor = float(baseline.get("floor", STORM_SPEEDUP_FLOOR))
+    if speedup < floor:
+        violations.append(
+            f"speedup {speedup:.2f}x below the acceptance floor "
+            f"{floor:.2f}x")
+    base_speedup = float(baseline.get("speedup", 0.0))
+    if base_speedup and speedup < base_speedup * (1.0 - speedup_tolerance):
+        violations.append(
+            f"speedup {speedup:.2f}x regressed more than "
+            f"{speedup_tolerance:.0%} from baseline {base_speedup:.2f}x")
+    concurrent = result.get("concurrent", {})
+    meta = result.get("meta", {})
+    capacity = int(meta.get("queue_capacity", 0))
+    if capacity and int(concurrent.get("max_queue_depth", 0)) > capacity:
+        violations.append(
+            f"backpressure: queue depth "
+            f"{concurrent.get('max_queue_depth')} exceeded the "
+            f"capacity {capacity}")
+    workers = int(meta.get("workers", 0))
+    if workers and int(concurrent.get("max_inflight", 0)) > workers + \
+            capacity:
+        violations.append(
+            f"inflight {concurrent.get('max_inflight')} exceeded "
+            f"workers+capacity {workers + capacity}")
+    for name, base_value in (baseline.get("counters") or {}).items():
+        if base_value < 1:
+            continue
+        got = float(result.get("counters", {}).get(name, 0))
+        rel = abs(got - base_value) / base_value
+        if rel > tolerance:
+            violations.append(
+                f"counter {name}: {got:g} vs baseline {base_value:g} "
+                f"({rel:+.1%} > ±{tolerance:.0%})")
+    return violations
+
+
+def baseline_payload(result: dict) -> dict:
+    """The committed-baseline form of a storm result.
+
+    Deliberately excludes verdict digests (BLAS-build dependent) and
+    wall-clock trace (machine dependent) — only the speedup ratio and
+    the deterministic counters are portable.
+    """
+    return {
+        "floor": STORM_SPEEDUP_FLOOR,
+        "speedup": result["speedup"],
+        "counters": result["counters"],
+        "meta": result["meta"],
+    }
+
+
+def format_storm_report(result: dict) -> str:
+    """Human-readable summary of one storm run."""
+    meta = result["meta"]
+    serial = result["serial"]
+    concurrent = result["concurrent"]
+    lines = [
+        f"ingest storm: {meta['streams']} streams x "
+        f"{meta['num_arrivals']} arrivals over a "
+        f"{meta['inventory_size']:,}-sample inventory "
+        f"({meta['shard_count']} shards), "
+        f"{meta['workers']} workers, queue capacity "
+        f"{meta['queue_capacity']}", "",
+        f"{'arm':<12} {'seconds':>9} {'datasets/s':>11} "
+        f"{'samples/s':>11} {'depth':>6} {'inflight':>9}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for arm_name, arm in (("serial", serial), ("concurrent", concurrent)):
+        lines.append(
+            f"{arm_name:<12} {arm['seconds']:>9.2f} "
+            f"{arm['datasets_per_second']:>11.3f} "
+            f"{arm['samples_per_second']:>11.1f} "
+            f"{arm['max_queue_depth']:>6d} {arm['max_inflight']:>9d}")
+    lines.append("")
+    lines.append(
+        f"speedup {result['speedup']:.2f}x datasets/s "
+        f"(floor {STORM_SPEEDUP_FLOOR:.1f}x)  "
+        f"verdicts identical: {result['verdicts_identical']}")
+    lines.append(
+        f"quarantined {concurrent['quarantined']}  "
+        f"degraded {concurrent['degraded']}  "
+        f"fetch model rtt={meta['rtt_seconds']}s + "
+        f"{meta['per_sample_seconds']}s/sample")
+    return "\n".join(lines)

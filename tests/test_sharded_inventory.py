@@ -1,0 +1,215 @@
+"""Tests for repro.datalake.shards (DESIGN.md §14)."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datalake import (FaultPlan, FaultRule, InjectedFault,
+                            NoisyLabelPlatform, ShardedInventory, bucket_of)
+from repro.datalake.shards import MANIFEST_FILE
+from repro.datasets import generate, toy
+from repro.nn.data import LabeledDataset
+from repro.noise import MISSING_LABEL, corrupt_labels, pair_asymmetric
+from repro.obs import use_span_hook
+
+
+@pytest.fixture(scope="module")
+def inventory():
+    data = generate(toy(num_classes=5, samples_per_class=60), seed=31)
+    rng = np.random.default_rng(32)
+    return corrupt_labels(data, pair_asymmetric(5, 0.25), rng,
+                          name="shards/inventory")
+
+
+def _same(a: LabeledDataset, b: LabeledDataset) -> bool:
+    truth = ((a.true_y is None and b.true_y is None)
+             or (a.true_y is not None and b.true_y is not None
+                 and np.array_equal(a.true_y, b.true_y)))
+    return (np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)
+            and np.array_equal(a.ids, b.ids) and truth)
+
+
+def test_bucket_of_deterministic_and_in_range():
+    ids = np.arange(1000)
+    first = bucket_of(ids, 4)
+    second = bucket_of(ids, 4)
+    assert np.array_equal(first, second)
+    assert first.min() >= 0 and first.max() < 4
+    # The Fibonacci hash must actually spread sequential ids.
+    counts = np.bincount(first, minlength=4)
+    assert counts.min() > 100
+
+
+def test_as_dataset_round_trips_insertion_order(inventory):
+    store = ShardedInventory.from_dataset(inventory, num_classes=5)
+    assert len(store) == len(inventory)
+    assert _same(store.as_dataset(), inventory)
+
+
+def test_incremental_add_equals_monolithic_rebuild(inventory):
+    """Shard-wise adds must equal the one-shot partition bit for bit."""
+    parts = [inventory.subset(np.arange(0, 100), name="p0"),
+             inventory.subset(np.arange(100, 180), name="p1"),
+             inventory.subset(np.arange(180, len(inventory)), name="p2")]
+    incremental = ShardedInventory(5)
+    for part in parts:
+        incremental.add(part)
+    monolithic = ShardedInventory.from_dataset(inventory, num_classes=5)
+    assert _same(incremental.as_dataset(name=inventory.name),
+                 monolithic.as_dataset())
+    assert incremental.shard_sizes() == monolithic.shard_sizes()
+
+
+def test_merge_folds_other_store(inventory):
+    left = ShardedInventory.from_dataset(
+        inventory.subset(np.arange(0, 150), name="left"), num_classes=5)
+    right = ShardedInventory.from_dataset(
+        inventory.subset(np.arange(150, len(inventory)), name="right"),
+        num_classes=5)
+    left.merge(right)
+    combined = left.as_dataset(name=inventory.name)
+    assert _same(combined, inventory)
+    with pytest.raises(ValueError):
+        left.merge(ShardedInventory.from_dataset(
+            inventory.subset(np.arange(3), name="bad"), num_classes=3))
+
+
+def test_class_subset_touches_only_those_classes(inventory):
+    store = ShardedInventory.from_dataset(inventory, num_classes=5)
+    subset = store.class_subset([1, 3])
+    mask = np.isin(inventory.y, [1, 3])
+    assert _same(subset, inventory.mask(mask, name=subset.name))
+
+
+def test_missing_labels_route_to_the_extra_group():
+    x = np.random.default_rng(0).normal(size=(6, 4))
+    y = np.array([0, 1, MISSING_LABEL, 1, MISSING_LABEL, 0])
+    data = LabeledDataset(x, y, name="missing")
+    store = ShardedInventory.from_dataset(data, num_classes=2,
+                                          buckets_per_class=2)
+    assert _same(store.as_dataset(name="missing"), data)
+    keys = [store.shard_key(i) for i, n in enumerate(store.shard_sizes())
+            if n]
+    assert any(k.label == MISSING_LABEL for k in keys)
+    with pytest.raises(ValueError):
+        store.add(LabeledDataset(x, np.full(6, 7), name="out-of-range"))
+
+
+def test_memmap_backing_round_trip(inventory, tmp_path):
+    live = str(tmp_path / "live")
+    store = ShardedInventory.from_dataset(
+        inventory, num_classes=5, backing="memmap", directory=live)
+    assert _same(store.as_dataset(), inventory)
+    assert any(name.startswith("live_shard_")
+               for name in os.listdir(live))
+    saved = str(tmp_path / "ckpt")
+    store.save(saved)
+    # Reload the checkpoint onto every backing: bytes must match.
+    for backing, directory in (("memory", None), ("shm", None),
+                               ("memmap", str(tmp_path / "live2"))):
+        loaded = ShardedInventory.load(saved, backing=backing,
+                                       live_directory=directory)
+        assert _same(loaded.as_dataset(), inventory)
+        loaded.close()
+    store.close()
+
+
+def test_shm_backing_appends_and_closes(inventory):
+    with ShardedInventory.from_dataset(inventory, num_classes=5,
+                                       backing="shm") as store:
+        assert _same(store.as_dataset(), inventory)
+        store.add(inventory.subset(np.arange(10), name="extra"))
+        assert len(store) == len(inventory) + 10
+
+
+def test_save_is_generation_versioned(inventory, tmp_path):
+    directory = str(tmp_path / "gen")
+    store = ShardedInventory.from_dataset(inventory, num_classes=5)
+    store.save(directory)
+    gen1 = {n for n in os.listdir(directory) if ".g1." in n}
+    assert gen1
+    store.add(inventory.subset(np.arange(20), name="growth"))
+    store.save(directory)
+    names = os.listdir(directory)
+    # Older generation pruned only after the new manifest landed.
+    assert not any(".g1." in n for n in names)
+    assert any(".g2." in n for n in names)
+    loaded = ShardedInventory.load(directory)
+    assert len(loaded) == len(inventory) + 20
+    assert _same(loaded.as_dataset(), store.as_dataset())
+
+
+def test_killed_flush_preserves_previous_generation(inventory, tmp_path):
+    """The shard_flush chaos contract: a kill mid-save is invisible."""
+    directory = str(tmp_path / "chaos")
+    store = ShardedInventory.from_dataset(inventory, num_classes=5)
+    store.save(directory)
+    golden = store.as_dataset()
+    store.add(inventory.subset(np.arange(30), name="growth"))
+    injector = FaultPlan([FaultRule("shard_flush", probability=1.0,
+                                   times=1)], seed=7).injector()
+    with pytest.raises(InjectedFault), use_span_hook(injector):
+        store.save(directory)
+    assert injector.injected["shard_flush"] == 1
+    survivor = ShardedInventory.load(directory)
+    assert _same(survivor.as_dataset(), golden)
+    # A clean retry lands the grown state.
+    store.save(directory)
+    assert _same(ShardedInventory.load(directory).as_dataset(),
+                 store.as_dataset())
+
+
+def test_manifest_written_last(inventory, tmp_path):
+    directory = str(tmp_path / "manifest")
+    store = ShardedInventory.from_dataset(inventory, num_classes=5)
+    path = store.save(directory)
+    assert os.path.basename(path) == MANIFEST_FILE
+    import json
+    with open(path) as fh:
+        manifest = json.load(fh)
+    for entry in manifest["shards"]:
+        assert os.path.exists(os.path.join(directory, entry["file"]))
+    assert manifest["total"] == len(inventory)
+
+
+def test_concurrent_adds_are_linearizable(inventory):
+    """Parallel adds: every row lands exactly once, per-shard locks
+    keep payloads consistent (order across threads is unspecified)."""
+    store = ShardedInventory(5)
+    chunks = [inventory.subset(np.arange(i, len(inventory), 8),
+                               name=f"chunk{i}") for i in range(8)]
+    threads = [threading.Thread(target=store.add, args=(chunk,))
+               for chunk in chunks]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(store) == len(inventory)
+    merged = store.as_dataset()
+    order = np.argsort(merged.ids, kind="stable")
+    reference = inventory.subset(np.argsort(inventory.ids,
+                                            kind="stable"), name="ref")
+    assert _same(merged.subset(order, name="ref"), reference)
+
+
+def test_platform_accepts_sharded_inventory(inventory):
+    from repro.core.config import ENLDConfig
+
+    config = ENLDConfig(model_name="mlp", model_kwargs={"hidden": 16},
+                        init_epochs=2, iterations=1,
+                        steps_per_iteration=1, warmup_epochs=0,
+                        contrastive_k=1, seed=3)
+    store = ShardedInventory.from_dataset(inventory, num_classes=5)
+    from_shards = NoisyLabelPlatform(store, config=config, num_classes=5)
+    from_dataset = NoisyLabelPlatform(inventory, config=config,
+                                      num_classes=5)
+    assert from_shards.sharded_inventory is store
+    assert from_dataset.sharded_inventory is None
+    assert np.array_equal(from_shards.enld.cond_prob,
+                          from_dataset.enld.cond_prob)
+    arrival = inventory.subset(np.arange(12), name="arrival")
+    assert from_shards.absorb_arrival(arrival)
+    assert len(store) == len(inventory) + 12
+    assert not from_dataset.absorb_arrival(arrival)
