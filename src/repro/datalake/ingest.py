@@ -367,6 +367,10 @@ class IngestPipeline:
         calling thread (the sequential baseline — identical RNG
         derivation, zero concurrency); the other modes fan detection
         out while this thread serializes platform state.
+
+        Dataset names must be unique across the storm (reports and the
+        derived detection RNG are keyed by name); a repeat raises
+        :class:`ValueError` in every mode.
         """
         with trace_span("ingest_run"):
             if self.config.mode == "serial":
@@ -423,12 +427,29 @@ class IngestPipeline:
         platform.journal_report(dataset, report)
         report_map[dataset.name] = report
 
+    @staticmethod
+    def _claim_name(name: str, seen: set) -> None:
+        """Reject a repeated dataset name within one storm.
+
+        Storm reports, journal entries and the derived detection RNG
+        are all keyed by dataset name; a repeat would silently
+        overwrite the first arrival's report (and draw the identical
+        RNG stream), so it fails loudly at admission instead.
+        """
+        if name in seen:
+            raise ValueError(
+                f"duplicate dataset name {name!r} in storm: reports and "
+                f"detection RNG streams are keyed by name, so every "
+                f"arrival needs a unique name")
+        seen.add(name)
+
     # ------------------------------------------------------------------
     def _run_serial(self, streams: Sequence[ArrivalStream]
                     ) -> StormReport:
         """Sequential baseline: fetch + detect inline, round-robin."""
         platform = self.platform
         reports: Dict[str, SubmissionReport] = {}
+        seen_names: set = set()
         samples = 0
         watch = Stopwatch()
         with watch:
@@ -445,6 +466,7 @@ class IngestPipeline:
                     if self.fetch is not None:
                         with trace_span("lake_fetch"):
                             dataset = self.fetch(dataset)
+                    self._claim_name(dataset.name, seen_names)
                     samples += len(dataset)
                     quarantined = platform.admit_arrival(dataset)
                     if quarantined is not None:
@@ -492,11 +514,17 @@ class IngestPipeline:
                 name=f"ingest-worker-{i}", daemon=True)
             for i in range(pool_size)]
         executor = None
+        pool_epoch: Optional[int] = None
         if cfg.mode == "process":
             import multiprocessing
             from concurrent.futures import ProcessPoolExecutor
             model, candidates, cond_prob = \
                 platform.enld.detection_snapshot()
+            # Spawned workers detect under this snapshot for the whole
+            # storm, so every process task carries the epoch frozen
+            # into the pool here — not the dispatch-time epoch — and a
+            # later hot-swap forces the owner's re-detection.
+            pool_epoch = len(platform.catalog.versions)
             # Injectable sleep callables (often lambdas, e.g.
             # NO_WAIT_RETRY's) cannot cross the pickle boundary; spawn
             # workers get the same budget with the real time.sleep.
@@ -515,6 +543,7 @@ class IngestPipeline:
 
         reports: Dict[str, SubmissionReport] = {}
         ready: Dict[int, _Done] = {}
+        seen_names: set = set()
         samples = 0
         depth = 0
         inflight = 0
@@ -535,6 +564,7 @@ class IngestPipeline:
                         continue
                     if kind == "arrival":
                         assert isinstance(payload, LabeledDataset)
+                        self._claim_name(payload.name, seen_names)
                         depth += 1
                         max_depth = max(max_depth, depth)
                         observe("ingest.queue_depth", depth)
@@ -549,7 +579,9 @@ class IngestPipeline:
                         task = _Task(
                             seq=next_seq, dataset=payload,
                             snapshot=platform.enld.detection_snapshot(),
-                            epoch=len(platform.catalog.versions))
+                            epoch=(len(platform.catalog.versions)
+                                   if pool_epoch is None
+                                   else pool_epoch))
                         next_seq += 1
                         inflight += 1
                         max_inflight = max(max_inflight, inflight)

@@ -35,9 +35,12 @@ the previous generation's untouched files, so
 :meth:`ShardedInventory.load` round-trips bit-identically.
 
 Thread safety: every shard owns a lock; mutating operations take the
-shard lock, readers snapshot under it.  The lock order is strictly
-one-lock-at-a-time (shard locks and the inventory's order lock are
-never nested), so the REP703 lock-order graph stays acyclic.
+shard lock, readers snapshot under it.  The inventory lock guards the
+insertion log, shard creation and the first-add shape/dtype handshake;
+it is never held while a shard lock is taken (and vice versa).  The
+only nesting is the checkpoint lock serializing :meth:`save`, which
+sits strictly above both — so the REP703 lock-order graph stays
+acyclic.
 """
 
 from __future__ import annotations
@@ -113,33 +116,43 @@ class _Shard:
         self._ids: Optional[np.ndarray] = None    # repro: guarded-by(_lock)
         self._count: int = 0                      # repro: guarded-by(_lock)
         self._shm: Optional[shared_memory.SharedMemory] = None  # repro: guarded-by(_lock)
+        self._memmap_path: Optional[str] = None   # repro: guarded-by(_lock)
+        self._memmap_gen: int = 0                 # repro: guarded-by(_lock)
 
     # -- storage ------------------------------------------------------
     def _allocate(self, capacity: int
                   ) -> Tuple[np.ndarray,
-                             Optional[shared_memory.SharedMemory]]:
+                             Optional[shared_memory.SharedMemory],
+                             Optional[str]]:
         """A fresh payload array of ``capacity`` rows on the backing.
 
-        Pure with respect to ``self`` — returns the array plus the
-        shared-memory segment backing it (``None`` for other backings)
-        so the caller can swap state under its lock.
+        Returns the array, the shared-memory segment backing it and the
+        memmap file path backing it (each ``None`` on other backings)
+        so the caller can swap state under its lock and release the
+        previous segment/file afterwards.  Called with the shard lock
+        held, after the caller advanced the memmap generation counter.
         """
         shape = (capacity, *self.sample_shape)
         if self.backing == "memmap":
             assert self.directory is not None
             os.makedirs(self.directory, exist_ok=True)
-            path = os.path.join(self.directory,
-                                f"live_shard_{self.index:04d}.dat")
+            # Every growth maps a *distinct* file: mode "w+" truncates
+            # its target, and truncating the file backing the live
+            # array would zero the rows the caller is about to copy
+            # out of it.
+            path = os.path.join(
+                self.directory,
+                f"live_shard_{self.index:04d}.m{self._memmap_gen}.dat")
             return (np.memmap(path, dtype=self.dtype, mode="w+",
-                              shape=shape), None)
+                              shape=shape), None, path)
         if self.backing == "shm":
             nbytes = int(np.prod(shape)) * self.dtype.itemsize
             segment = shared_memory.SharedMemory(
                 create=True, size=max(nbytes, 1))
             array: np.ndarray = np.ndarray(shape, dtype=self.dtype,
                                            buffer=segment.buf)
-            return array, segment
-        return np.empty(shape, dtype=self.dtype), None
+            return array, segment, None
+        return np.empty(shape, dtype=self.dtype), None, None
 
     # -- mutation -----------------------------------------------------
     def append(self, x: np.ndarray, y: np.ndarray,
@@ -147,6 +160,7 @@ class _Shard:
                ids: np.ndarray) -> Tuple[int, int]:
         """Append rows; returns ``(first_slot, count_after)``."""
         stale: Optional[shared_memory.SharedMemory] = None
+        stale_path: Optional[str] = None
         with self._lock:
             first = self._count
             if first and ((true_y is None) != (self._true_y is None)):
@@ -157,13 +171,17 @@ class _Shard:
             have = 0 if self._x is None else len(self._x)
             if need > have:
                 capacity = max(need, max(have, 8) * 2)
-                fresh, segment = self._allocate(capacity)
+                self._memmap_gen += 1
+                fresh, segment, path = self._allocate(capacity)
                 if self._x is not None and first:
                     fresh[:first] = self._x[:first]
                 self._x = fresh
                 if segment is not None:
                     stale = self._shm
                     self._shm = segment
+                if path is not None:
+                    stale_path = self._memmap_path
+                    self._memmap_path = path
                 fresh_y = np.empty(capacity, dtype=np.int64)
                 fresh_ids = np.empty(capacity, dtype=np.int64)
                 if first:
@@ -189,6 +207,12 @@ class _Shard:
         if stale is not None:
             stale.close()
             stale.unlink()
+        if stale_path is not None:
+            # The live array moved to the fresh file above; outstanding
+            # snapshot views keep the old mapping readable until they
+            # are dropped (POSIX unlink semantics), so the stale file
+            # can go immediately.
+            os.remove(stale_path)
         return first, need
 
     # -- read ---------------------------------------------------------
@@ -264,11 +288,14 @@ class ShardedInventory:
         self.backing = backing
         self.directory = directory
         self.name = name
-        self._shards: List[Optional[_Shard]] = \
-            [None] * ((num_classes + 1) * buckets_per_class)
-        self._sample_shape: Optional[Tuple[int, ...]] = None
-        self._dtype: Optional[np.dtype] = None
+        self._shards: List[Optional[_Shard]] = (  # repro: guarded-by(_lock)
+            [None] * ((num_classes + 1) * buckets_per_class))
+        self._sample_shape: Optional[Tuple[int, ...]] = None  # repro: guarded-by(_lock)
+        self._dtype: Optional[np.dtype] = None  # repro: guarded-by(_lock)
         self._lock = threading.Lock()
+        # Serializes save(): held for a whole checkpoint so concurrent
+        # saves cannot share a generation or prune each other's files.
+        self._ckpt_lock = threading.Lock()
         # Insertion log: (shard index, slot) per appended row, in add
         # order, so as_dataset() replays the source order bit-for-bit.
         self._order_shard: List[np.ndarray] = []  # repro: guarded-by(_lock)
@@ -329,12 +356,18 @@ class ShardedInventory:
         return groups
 
     def _shard_for(self, index: int) -> _Shard:
-        shard = self._shards[index]
-        if shard is None:
-            assert self._sample_shape is not None and self._dtype is not None
-            shard = _Shard(index, self._sample_shape, self._dtype,
-                           self.backing, self.directory)
-            self._shards[index] = shard
+        # Check-then-create under the inventory lock: two adds racing
+        # on a not-yet-created shard must agree on a single _Shard, or
+        # the loser's appended rows would vanish while the insertion
+        # log still references their (shard, slot) entries.
+        with self._lock:
+            shard = self._shards[index]
+            if shard is None:
+                assert (self._sample_shape is not None
+                        and self._dtype is not None)
+                shard = _Shard(index, self._sample_shape, self._dtype,
+                               self.backing, self.directory)
+                self._shards[index] = shard
         return shard
 
     # ------------------------------------------------------------------
@@ -351,13 +384,14 @@ class ShardedInventory:
             return
         x = np.asarray(dataset.x)
         shape = tuple(x.shape[1:])
-        if self._sample_shape is None:
-            self._sample_shape = shape
-            self._dtype = np.dtype(x.dtype)
-        elif shape != self._sample_shape:
-            raise ValueError(
-                f"sample shape {shape} does not match inventory "
-                f"shape {self._sample_shape}")
+        with self._lock:
+            if self._sample_shape is None:
+                self._sample_shape = shape
+                self._dtype = np.dtype(x.dtype)
+            elif shape != self._sample_shape:
+                raise ValueError(
+                    f"sample shape {shape} does not match inventory "
+                    f"shape {self._sample_shape}")
         groups = self._group_of(dataset.y)
         buckets = bucket_of(dataset.ids, self.buckets_per_class)
         shard_index = groups * self.buckets_per_class + buckets
@@ -472,10 +506,20 @@ class ShardedInventory:
         kill at any point — the ``shard_flush`` chaos stage fires as
         each shard starts flushing — leaves the previous
         manifest/payload pair fully intact.
+
+        Saves are serialized on a dedicated checkpoint lock, and each
+        reserves its generation number atomically before flushing, so
+        concurrent callers can never collide on payload filenames or
+        prune files another save's manifest is about to reference.
         """
         os.makedirs(directory, exist_ok=True)
+        with self._ckpt_lock:
+            return self._save_locked(directory)
+
+    def _save_locked(self, directory: str) -> str:
         with self._lock:
-            generation = self._save_gen + 1
+            self._save_gen += 1
+            generation = self._save_gen
         order_shard, order_slot = self._order_arrays()
         entries: List[dict] = []
         for index in np.unique(order_shard):
@@ -514,8 +558,6 @@ class ShardedInventory:
         }
         path = os.path.join(directory, MANIFEST_FILE)
         atomic_write_json(path, manifest)
-        with self._lock:
-            self._save_gen = generation
         self._prune_generations(directory, generation)
         return path
 

@@ -247,6 +247,20 @@ class TestStormResilience:
         assert clean > 0
         assert len(store) == len(world["inventory"]) + clean
 
+    def test_duplicate_names_raise_in_every_mode(self, world):
+        """Reports and detection RNG streams are keyed by dataset
+        name; a repeated name must fail loudly instead of silently
+        overwriting the first arrival's report."""
+        arrivals = world["stream"].arrivals()
+        dup = [arrivals[0], arrivals[0]]
+        for config in (IngestConfig(mode="serial"),
+                       IngestConfig(mode="thread", workers=2,
+                                    queue_capacity=2)):
+            platform = make_platform(world, admission=False)
+            with pytest.raises(ValueError,
+                               match="duplicate dataset name"):
+                IngestPipeline(platform, config).run([dup])
+
     def test_epoch_guard_redetects_after_hot_swap(self, world):
         """A synchronous scheduler swap mid-storm must not let verdicts
         computed under the old model reach the catalog.
@@ -284,7 +298,63 @@ class TestStormResilience:
 # ----------------------------------------------------------------------
 # Process mode (smoke — spawn cost keeps this tiny)
 # ----------------------------------------------------------------------
+class _InlinePool:
+    """ProcessPoolExecutor stand-in running tasks inline.
+
+    Preserves the real pool's semantics — every task detects under the
+    state the initializer froze at executor creation — without the
+    spawn cost, so the epoch guard is testable with a live scheduler.
+    """
+
+    def __init__(self, max_workers=None, mp_context=None,
+                 initializer=None, initargs=()):
+        initializer(*initargs)
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+        future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # pragma: no cover — fail loudly
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True):
+        pass
+
+
 class TestProcessMode:
+    def test_process_epoch_guard_pins_pool_epoch(self, world,
+                                                 monkeypatch):
+        """Pool workers detect under the snapshot frozen at executor
+        init, so tasks must carry the *pool* epoch: a mid-storm hot
+        swap then forces the owner's re-detection instead of letting a
+        stale-model verdict commit under the new version."""
+        import concurrent.futures
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            _InlinePool)
+        streams = [world["stream"]]
+        serial = IngestPipeline(
+            make_platform(world, scheduler=EveryNArrivals(2)),
+            IngestConfig(mode="serial")).run(streams)
+        storm_platform = make_platform(world,
+                                       scheduler=EveryNArrivals(2))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            storm = IngestPipeline(
+                storm_platform,
+                IngestConfig(mode="process", workers=1,
+                             queue_capacity=4)).run(streams)
+        assert len(storm_platform.catalog.versions) > 1
+        serial_prints = _fingerprints(serial)
+        mismatch = [n for n, p in _fingerprints(storm).items()
+                    if serial_prints[n] != p]
+        assert mismatch == []
+        # Detections dispatched after the swap ran under the stale
+        # pool snapshot and were re-judged at commit time.
+        counters = tracer.to_dict()["counters"]
+        assert counters.get("ingest.epoch_redetect", 0) >= 1
+
     def test_process_storm_matches_serial(self, world):
         arrivals = world["stream"].arrivals()[:2]
         serial = IngestPipeline(

@@ -116,6 +116,58 @@ def test_memmap_backing_round_trip(inventory, tmp_path):
     store.close()
 
 
+def test_memmap_regrowth_preserves_rows(inventory, tmp_path):
+    """Growing a memmap-backed shard maps a distinct file per capacity
+    (mode "w+" truncates its target, so reusing the live file would
+    zero the rows being copied out of it)."""
+    live = str(tmp_path / "live")
+    store = ShardedInventory(5, buckets_per_class=1,
+                             backing="memmap", directory=live)
+    third = len(inventory) // 3
+    parts = [inventory.subset(np.arange(0, third), name="p0"),
+             inventory.subset(np.arange(third, 2 * third), name="p1"),
+             inventory.subset(np.arange(2 * third, len(inventory)),
+                              name="p2")]
+    for part in parts:
+        store.add(part)
+    assert _same(store.as_dataset(name=inventory.name), inventory)
+    # Regrowth leaves exactly one live file per occupied shard — the
+    # stale generations were deleted once their rows were copied.
+    live_files = [n for n in os.listdir(live)
+                  if n.startswith("live_shard_")]
+    occupied = sum(1 for n in store.shard_sizes() if n)
+    assert occupied and len(live_files) == occupied
+    # At least one shard actually regrew (generation tag advanced).
+    assert any(not n.endswith(".m1.dat") for n in live_files)
+
+
+def test_concurrent_saves_are_serialized(inventory, tmp_path):
+    """Racing saves reserve distinct generations: no filename
+    collisions, no pruning of files another manifest references."""
+    directory = str(tmp_path / "race")
+    store = ShardedInventory.from_dataset(inventory, num_classes=5)
+    errors = []
+
+    def save():
+        try:
+            store.save(directory)
+        except Exception as exc:  # pragma: no cover — fail loudly
+            errors.append(exc)
+
+    threads = [threading.Thread(target=save) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    import json
+    with open(os.path.join(directory, MANIFEST_FILE)) as fh:
+        manifest = json.load(fh)
+    assert manifest["generation"] == 4
+    assert _same(ShardedInventory.load(directory).as_dataset(),
+                 inventory)
+
+
 def test_shm_backing_appends_and_closes(inventory):
     with ShardedInventory.from_dataset(inventory, num_classes=5,
                                        backing="shm") as store:
