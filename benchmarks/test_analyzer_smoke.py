@@ -51,11 +51,13 @@ def test_analyzer_cold_vs_warm(tmp_path):
     cold, cold_seconds = _timed(cache_dir)
     warm, warm_seconds = _timed(cache_dir)
 
-    # The smoke runs under the full whole-program catalog: both graph
-    # families must be registered, so the warm-replay identity below
-    # covers the REP7xx concurrency rules, not just REP6xx.
+    # The smoke runs under the full whole-program catalog: all three
+    # graph families must be registered, so the warm-replay identity
+    # below covers the REP7xx concurrency rules and the REP8xx
+    # determinism rules, not just REP6xx.
     assert {"REP601", "REP701", "REP702", "REP703", "REP704",
-            "REP705"} <= set(GRAPH_RULES)
+            "REP705", "REP801", "REP802", "REP803", "REP804",
+            "REP805"} <= set(GRAPH_RULES)
 
     assert cold.files_scanned > 0
     assert cold.cache_hits == 0
@@ -113,3 +115,28 @@ def test_warm_cache_replays_graph_findings(tmp_path):
     assert warm.cache_misses == 0
     assert _snapshot(warm) == _snapshot(cold)
     assert any(f.rule == "REP702" for f in warm.findings)
+
+
+def test_warm_cache_replays_determinism_findings(tmp_path):
+    """The REP8xx facts replay from cached summaries too.
+
+    Same shape as the REP702 fixture above: the live tree is
+    REP8xx-clean, so only a planted violation can prove the warm run
+    re-evaluated the determinism rules from the cache's summary
+    payload (schema v3) rather than silently dropping the facts.
+    """
+    root = tmp_path / "proj"
+    (root / "repro").mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (root / "repro" / "stream.py").write_text(
+        "import numpy as np\n\n\n"
+        "def arrival(seed, key):\n"
+        "    return np.random.default_rng([seed, 1234, key])\n")
+    cache_dir = str(tmp_path / "analysis-cache")
+    cold = analyze_paths([str(root)], cache_dir=cache_dir)
+    warm = analyze_paths([str(root)], cache_dir=cache_dir)
+    assert cold.cache_misses == cold.files_scanned > 0
+    assert warm.cache_hits == warm.files_scanned
+    assert warm.cache_misses == 0
+    assert _snapshot(warm) == _snapshot(cold)
+    assert any(f.rule == "REP801" for f in warm.findings)

@@ -23,6 +23,8 @@ from .concurrency import (ConcurrencyIndex, ModuleConcurrency,
                           concurrency_index, extract_concurrency,
                           render_locks_dot, render_locks_text)
 from .config import DEFAULT_CONFIG, AnalysisConfig
+from .determinism import (DeterminismIndex, ModuleDeterminism,
+                          determinism_index, extract_determinism)
 from .engine import analyze_paths, analyze_source, module_key
 from .findings import AnalysisResult, Finding, Severity
 from .graph import ModuleSummary, ProjectGraph
@@ -40,6 +42,8 @@ __all__ = [
     "ConcurrencyIndex", "ModuleConcurrency",
     "concurrency_index", "extract_concurrency",
     "render_locks_dot", "render_locks_text",
+    "DeterminismIndex", "ModuleDeterminism",
+    "determinism_index", "extract_determinism",
     "AnalysisCache", "DEFAULT_CACHE_DIR",
     "load_baseline", "write_baseline", "DEFAULT_BASELINE_PATH",
     "render_text", "render_json", "render_sarif",

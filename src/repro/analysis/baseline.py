@@ -44,9 +44,16 @@ def write_baseline(path: str, findings: List[Finding]) -> int:
     """Write every (active or baselined) finding as the new baseline.
 
     noqa-suppressed findings are excluded — they are already silenced
-    in-source.  Returns the number of entries written.
+    in-source.  A ``reason`` recorded on an existing entry (the
+    documented justification for keeping a grandfather) is carried
+    forward when the same fingerprint is rewritten.  Returns the
+    number of entries written.
     """
-    entries = {
+    try:
+        previous = load_baseline(path)
+    except ValueError:
+        previous = {}
+    entries: Dict[str, Dict[str, object]] = {
         f.fingerprint: {
             "rule": f.rule,
             "path": f.key,
@@ -55,6 +62,10 @@ def write_baseline(path: str, findings: List[Finding]) -> int:
         }
         for f in findings if f.suppressed in (None, "baseline")
     }
+    for fingerprint, entry in entries.items():
+        old = previous.get(fingerprint)
+        if isinstance(old, dict) and "reason" in old:
+            entry["reason"] = old["reason"]
     payload = {"version": BASELINE_VERSION, "findings": entries}
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

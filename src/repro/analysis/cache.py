@@ -36,7 +36,8 @@ from .graph import ModuleSummary
 #: Bump when the cached summary/finding schema (or any rule's logic)
 #: changes in a way older entries cannot represent.
 #: v2: ModuleSummary gained the ``concurrency`` facts (REP7xx).
-CACHE_SCHEMA_VERSION = 2
+#: v3: ModuleSummary gained the ``determinism`` facts (REP8xx).
+CACHE_SCHEMA_VERSION = 3
 
 #: Default cache directory, relative to the invocation directory.
 DEFAULT_CACHE_DIR = ".repro-analysis"

@@ -44,6 +44,10 @@ def add_parser(sub: "argparse._SubParsersAction") -> None:
                         "output")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--rules", default=None, metavar="PREFIX[,...]",
+                   help="only run rules matching these comma-"
+                        "separated id prefixes (e.g. REP8 for the "
+                        "determinism family); REP001 always runs")
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                    help="incremental analysis cache directory "
                         f"(default: {DEFAULT_CACHE_DIR})")
@@ -63,6 +67,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         _print_rules()
         return 0
+    rules = None
+    if args.rules is not None:
+        rules = tuple(r.strip() for r in args.rules.split(",")
+                      if r.strip())
+        if not rules:
+            print("error: --rules needs at least one prefix",
+                  file=sys.stderr)
+            return 2
+        if args.write_baseline:
+            # A family-scoped run sees only a slice of the findings;
+            # writing it out would silently drop every other entry.
+            print("error: --write-baseline cannot be combined with "
+                  "--rules", file=sys.stderr)
+            return 2
     try:
         baseline = ({} if args.no_baseline
                     else load_baseline(args.baseline))
@@ -71,7 +89,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 2
     cache_dir = None if args.no_cache else args.cache_dir
     result = analyze_paths(args.paths, baseline=baseline,
-                           cache_dir=cache_dir)
+                           cache_dir=cache_dir, rules=rules)
     if args.write_baseline:
         count = write_baseline(args.baseline, result.findings)
         print(f"wrote {count} finding(s) to {args.baseline}")

@@ -108,6 +108,16 @@ CONCURRENCY_FOREGROUND_ROOTS: Tuple[str, ...] = (
 #: target resolution discovers automatically.
 CONCURRENCY_WORKER_ROOTS: Tuple[str, ...] = ()
 
+#: The module (by key) that owns the RNG stream-tag registry (REP801):
+#: the one place integer tag literals are legal, and the module whose
+#: ``StreamTags`` class body is the authoritative name -> value table.
+STREAM_TAG_REGISTRY_KEY = "repro/nn/rng.py"
+
+#: Module-key prefixes the REP8xx determinism family polices.  The
+#: whole library is in scope: every layer feeds, directly or not, the
+#: bit-identical-replay contract.
+DETERMINISM_SCOPE_PREFIXES: Tuple[str, ...] = ("repro/",)
+
 #: Module-key prefixes whose instance attributes REP701 polices.
 #: Scoped to the layers that actually cross the worker boundary — the
 #: nn model internals a worker *clone* trains are thread-private by
@@ -177,6 +187,13 @@ class AnalysisConfig:
     #: Module-key prefixes whose attributes REP701 polices.
     concurrency_shared_state_prefixes: Tuple[str, ...] = \
         CONCURRENCY_SHARED_STATE_PREFIXES
+
+    #: Module key owning the stream-tag registry (REP801).
+    stream_tag_registry_key: str = STREAM_TAG_REGISTRY_KEY
+
+    #: Module-key prefixes the REP8xx determinism rules police.
+    determinism_scope_prefixes: Tuple[str, ...] = \
+        DETERMINISM_SCOPE_PREFIXES
 
 
 DEFAULT_CONFIG = AnalysisConfig()

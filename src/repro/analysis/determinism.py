@@ -1,0 +1,1081 @@
+"""Whole-program determinism analysis (the REP8xx family).
+
+The platform's headline claim — concurrent ingestion and async
+retraining produce verdicts **bit-identical** to serial replay — rests
+on a handful of hand-maintained invariants: derived RNG streams keyed
+by globally unique tags, no unordered iteration feeding persisted
+state, nothing pickle-hostile crossing a process boundary, every
+failed hot-swap rolled back, and no wall-clock/pid/address entropy
+leaking into RNG keys or checkpoints.  Each of those broke (or nearly
+broke) during a past scaling PR; this module checks them statically:
+
+REP801 **stream-tag registry**
+    Every integer tag in a seed-derivation key (``default_rng([seed,
+    TAG, ...])`` / ``SeedSequence(spawn_key=...)`` / ``reseed(seed +
+    TAG * n)``) must be spelled ``STREAM_TAGS.<NAME>`` from the
+    central :data:`repro.nn.rng.STREAM_TAGS` registry — inline
+    literals and module-local constants re-create the comment-based
+    namespace that let two call sites collide; registry values must
+    be globally unique.
+REP802 **unordered iteration**
+    Iterating a ``set`` (or an un-``sorted()`` dict view, or a
+    filesystem listing) in a loop whose body writes the journal, a
+    checkpoint, or derives an RNG key makes the persisted order
+    depend on hash seeding / completion order; sort first.
+REP803 **pickle-boundary purity**
+    Values shipped through ``executor.submit(...)`` / ``conn.send(...)``
+    / ``ProcessPoolExecutor(initargs=...)`` must be plain data:
+    lambdas, generators, nested functions, bare ``self``, locks and
+    tracers in the payload either fail to pickle under spawn or drag
+    live state across the boundary (extends REP704 from worker
+    *targets* to worker *payloads*).
+REP804 **snapshot/restore pairing**
+    A function that captures ``snapshot_swap_state()`` and then calls
+    a swap-scoped mutator (``install_update``, directly or through
+    project calls) must do so inside a ``try`` whose exception path
+    reaches ``restore_swap_state`` — otherwise a mid-swap failure
+    leaves the platform half-updated.
+REP805 **nondeterminism sources**
+    ``os.getpid`` / ``threading.get_ident`` / ``id()`` /
+    ``uuid.uuid4`` / wall clocks flowing (directly or through one
+    local) into a journal write, checkpoint, or RNG key make replay
+    runs diverge by construction.
+
+Extraction happens per module at parse time into the JSON-serialisable
+:class:`ModuleDeterminism` carried by each
+:class:`~repro.analysis.graph.ModuleSummary`, so the facts replay from
+the incremental cache like every other summary field; the rules run as
+whole-program :class:`~repro.analysis.rules.GraphRule` passes over a
+shared :class:`DeterminismIndex` (registry table + two call-graph
+fixed points).  Resolution is conservative in the REP6xx/REP7xx way: a
+tag, call or payload that cannot be pinned down never produces a
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import (Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
+
+from .config import AnalysisConfig
+from .findings import Severity
+from .graph import ProjectGraph
+from .rules import (GraphRule, ImportMap, RawGraphFinding,
+                    register_graph)
+
+#: Resolved callables whose first list argument is a SeedSequence
+#: entropy key (``[seed, TAG, ...]``).
+SEED_KEY_FACTORIES = frozenset({
+    "numpy.random.default_rng", "numpy.random.SeedSequence",
+})
+
+#: Attribute marker naming the registry instance in a resolved
+#: reference (``repro.nn.rng.STREAM_TAGS.DETECT``).
+REGISTRY_ATTR = "STREAM_TAGS"
+
+#: Class whose body defines the registry fields.
+REGISTRY_CLASS = "StreamTags"
+
+#: Method name re-rolling a platform RNG from scalar arithmetic
+#: (``enld.reseed(seed + TAG * attempt)``).
+RESEED_METHOD = "reseed"
+
+#: Call names that persist state or derive an RNG stream — the sinks
+#: REP802/REP805 protect.  Matched on the call's terminal name, so
+#: both ``append_journal(...)`` and ``persistence.append_journal(...)``
+#: count.
+SINK_CALLEES = frozenset({
+    "append_journal", "atomic_write_json", "atomic_write_npz",
+    "save_checkpoint", "default_rng", "SeedSequence", "reseed",
+})
+
+#: Swap-state capture/rollback pair (REP804) and the mutators that
+#: must stay inside the protected region.
+SNAPSHOT_NAME = "snapshot_swap_state"
+RESTORE_NAME = "restore_swap_state"
+SWAP_MUTATORS = frozenset({"install_update"})
+
+#: Nondeterminism sources by resolved dotted path (REP805).  Wall
+#: clocks are included here but exempted inside
+#: ``config.wallclock_allowed_prefixes`` at check time.
+NONDET_DOTTED = frozenset({
+    "os.getpid", "threading.get_ident", "uuid.uuid4",
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+})
+
+#: Wall-clock source prefixes (config-exemptable subset of the above).
+WALLCLOCK_PREFIXES = ("time.", "datetime.")
+
+#: Receiver names treated as process-pool executors / pipe ends.
+EXECUTOR_RE = re.compile(r"(^|_)(executor|pool)s?$")
+PIPE_RE = re.compile(r"(^|_)(conn|connection|pipe)s?$")
+
+#: Attribute names that smuggle live state through a pickle boundary.
+LOCKISH_RE = re.compile(
+    r"(^|_)(r?lock|mutex|sem(aphore)?|cond(ition)?|thread|event)s?$")
+TRACERISH_RE = re.compile(r"(^|_)tracers?$")
+
+
+# ----------------------------------------------------------------------
+# Per-module facts (serialised inside ModuleSummary)
+# ----------------------------------------------------------------------
+@dataclass
+class TagUse:
+    """One value in the tag slot of a seed-derivation expression."""
+
+    kind: str      #: "lit" | "const" | "ref"
+    value: int     #: literal / constant value (0 for refs)
+    name: str      #: constant name or resolved dotted ref ("" for lit)
+    context: str   #: "key" (entropy list) | "scalar" (reseed arith)
+    line: int
+    col: int
+    func: str
+
+    def to_dict(self) -> List[object]:
+        return [self.kind, self.value, self.name, self.context,
+                self.line, self.col, self.func]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "TagUse":
+        return cls(str(d[0]), int(d[1]), str(d[2]), str(d[3]),
+                   int(d[4]), int(d[5]), str(d[6]))
+
+
+@dataclass
+class RegistryTag:
+    """One field of the ``StreamTags`` registry class body."""
+
+    name: str
+    value: int
+    line: int
+    col: int
+
+    def to_dict(self) -> List[object]:
+        return [self.name, self.value, self.line, self.col]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "RegistryTag":
+        return cls(str(d[0]), int(d[1]), int(d[2]), int(d[3]))
+
+
+@dataclass
+class UnorderedIter:
+    """A ``for`` loop over an unordered (or order-unstable) iterable."""
+
+    kind: str                   #: "set" | "dict-view" | "fs"
+    desc: str                   #: display form (".items()", "set(...)")
+    line: int
+    col: int
+    func: str
+    #: sink callee names invoked directly in the loop body
+    sinks: Tuple[str, ...] = ()
+    #: encoded project callees invoked in the loop body
+    callees: Tuple[str, ...] = ()
+
+    def to_dict(self) -> List[object]:
+        return [self.kind, self.desc, self.line, self.col, self.func,
+                list(self.sinks), list(self.callees)]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "UnorderedIter":
+        return cls(str(d[0]), str(d[1]), int(d[2]), int(d[3]),
+                   str(d[4]), tuple(str(s) for s in d[5]),
+                   tuple(str(c) for c in d[6]))
+
+
+@dataclass
+class BoundaryPayload:
+    """One pickle-hostile value crossing a process boundary."""
+
+    channel: str               #: "submit" | "send" | "initargs"
+    kind: str                  #: "lambda" | "generator" | "nested"
+                               #: | "self" | "lock" | "tracer"
+    desc: str                  #: display form of the offending value
+    line: int
+    col: int
+    func: str
+
+    def to_dict(self) -> List[object]:
+        return [self.channel, self.kind, self.desc, self.line,
+                self.col, self.func]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "BoundaryPayload":
+        return cls(str(d[0]), str(d[1]), str(d[2]), int(d[3]),
+                   int(d[4]), str(d[5]))
+
+
+@dataclass
+class SwapSnapshot:
+    """One ``snapshot_swap_state()`` capture and what follows it."""
+
+    line: int
+    col: int
+    func: str
+    #: a restore call exists somewhere later in the function
+    has_restore: bool = False
+    #: post-snapshot calls outside any restore-protected try:
+    #: ``(display, encoded_callee_or_empty, line, col)``
+    exposed: Tuple[Tuple[str, str, int, int], ...] = ()
+
+    def to_dict(self) -> List[object]:
+        return [self.line, self.col, self.func, self.has_restore,
+                [list(e) for e in self.exposed]]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "SwapSnapshot":
+        return cls(int(d[0]), int(d[1]), str(d[2]), bool(d[3]),
+                   tuple((str(e[0]), str(e[1]), int(e[2]), int(e[3]))
+                         for e in d[4]))
+
+
+@dataclass
+class NondetFlow:
+    """A nondeterminism source flowing into a persisted/RNG sink."""
+
+    source: str                #: "os.getpid", "id()", "time.time", …
+    sink: str                  #: sink callee name
+    via: str                   #: tainted local name ("" for direct)
+    line: int
+    col: int
+    func: str
+
+    def to_dict(self) -> List[object]:
+        return [self.source, self.sink, self.via, self.line, self.col,
+                self.func]
+
+    @classmethod
+    def from_dict(cls, d: Sequence[object]) -> "NondetFlow":
+        return cls(str(d[0]), str(d[1]), str(d[2]), int(d[3]),
+                   int(d[4]), str(d[5]))
+
+
+@dataclass
+class ModuleDeterminism:
+    """All determinism facts extracted from one module."""
+
+    tag_uses: List[TagUse] = field(default_factory=list)
+    registry_tags: List[RegistryTag] = field(default_factory=list)
+    unordered: List[UnorderedIter] = field(default_factory=list)
+    payloads: List[BoundaryPayload] = field(default_factory=list)
+    snapshots: List[SwapSnapshot] = field(default_factory=list)
+    flows: List[NondetFlow] = field(default_factory=list)
+    #: qualnames that call a swap mutator / a sink directly (seeds of
+    #: the index's call-graph fixed points).
+    mutator_callers: List[str] = field(default_factory=list)
+    sink_callers: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"tag_uses": [t.to_dict() for t in self.tag_uses],
+                "registry_tags": [r.to_dict()
+                                  for r in self.registry_tags],
+                "unordered": [u.to_dict() for u in self.unordered],
+                "payloads": [p.to_dict() for p in self.payloads],
+                "snapshots": [s.to_dict() for s in self.snapshots],
+                "flows": [f.to_dict() for f in self.flows],
+                "mutator_callers": list(self.mutator_callers),
+                "sink_callers": list(self.sink_callers)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ModuleDeterminism":
+        return cls(
+            tag_uses=[TagUse.from_dict(t) for t in d["tag_uses"]],
+            registry_tags=[RegistryTag.from_dict(r)
+                           for r in d["registry_tags"]],
+            unordered=[UnorderedIter.from_dict(u)
+                       for u in d["unordered"]],
+            payloads=[BoundaryPayload.from_dict(p)
+                      for p in d["payloads"]],
+            snapshots=[SwapSnapshot.from_dict(s)
+                       for s in d["snapshots"]],
+            flows=[NondetFlow.from_dict(f) for f in d["flows"]],
+            mutator_callers=[str(m) for m in d["mutator_callers"]],
+            sink_callers=[str(s) for s in d["sink_callers"]])
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def _call_name(func: ast.expr) -> Optional[str]:
+    """Terminal name of a call target (``a.b.c()`` -> ``c``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class _FunctionDeterminismScanner:
+    """Scan one function body for every REP8xx fact."""
+
+    def __init__(self, facts: ModuleDeterminism, imports: ImportMap,
+                 own_class: Optional[str], qualname: str,
+                 module_consts: Dict[str, int]):
+        self.facts = facts
+        self.imports = imports
+        self.own_class = own_class
+        self.qualname = qualname
+        self.module_consts = module_consts
+        self._nested: Set[str] = set()
+        self._tainted: Set[str] = set()
+        self._snapshots: List[SwapSnapshot] = []
+        self._exposed: List[Tuple[str, str, int, int]] = []
+        self._saw_restore = False
+
+    def scan(self, node: ast.AST) -> None:
+        self._nested = {sub.name for sub in ast.walk(node)
+                        if isinstance(sub, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))
+                        and sub is not node}
+        self._scan_body(node.body, protected=False)
+        for snap in self._snapshots:
+            snap.has_restore = self._saw_restore
+            snap.exposed = tuple(self._exposed)
+            self.facts.snapshots.append(snap)
+
+    # -- statement walk ------------------------------------------------
+    def _scan_body(self, stmts: Sequence[ast.stmt],
+                   protected: bool) -> None:
+        for stmt in stmts:
+            self._scan_stmt(stmt, protected)
+
+    def _scan_stmt(self, stmt: ast.stmt, protected: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return                      # nested defs scanned separately
+        if isinstance(stmt, ast.Try):
+            inner = protected or self._try_restores(stmt)
+            self._scan_body(stmt.body, inner)
+            for handler in stmt.handlers:
+                self._scan_body(handler.body, protected)
+            self._scan_body(stmt.orelse, protected)
+            self._scan_body(stmt.finalbody, protected)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._handle_for(stmt, protected)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_exprs([stmt.value], protected)
+            self._propagate_taint(stmt.targets, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._scan_exprs([stmt.value], protected)
+            self._propagate_taint([stmt.target], stmt.value)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._scan_stmt(child, protected)
+            elif isinstance(child, ast.ExceptHandler):
+                self._scan_body(child.body, protected)
+            elif isinstance(child, ast.withitem):
+                self._scan_exprs([child.context_expr], protected)
+            elif isinstance(child, ast.expr):
+                self._scan_exprs([child], protected)
+
+    def _try_restores(self, stmt: ast.Try) -> bool:
+        """True when an except/finally path calls the restore."""
+        for region in (*stmt.handlers, *stmt.finalbody):
+            for sub in ast.walk(region):
+                if (isinstance(sub, ast.Call)
+                        and _call_name(sub.func) == RESTORE_NAME):
+                    return True
+        return False
+
+    # -- expressions ---------------------------------------------------
+    def _scan_exprs(self, exprs: Sequence[ast.expr],
+                    protected: bool) -> None:
+        for expr in exprs:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call):
+                    self._handle_call(sub, protected)
+
+    def _handle_call(self, call: ast.Call, protected: bool) -> None:
+        name = _call_name(call.func)
+        if name == SNAPSHOT_NAME:
+            self._snapshots.append(SwapSnapshot(
+                line=call.lineno, col=call.col_offset,
+                func=self.qualname))
+            return
+        if name == RESTORE_NAME:
+            if self._snapshots:
+                self._saw_restore = True
+            return
+        self._tag_uses(call, name)
+        self._boundary_payloads(call, name)
+        if name in SWAP_MUTATORS:
+            self.facts.mutator_callers.append(self.qualname)
+        if name in SINK_CALLEES:
+            self.facts.sink_callers.append(self.qualname)
+            self._sink_flows(call, name)
+        if self._snapshots and not protected:
+            self._expose(call, name)
+
+    def _expose(self, call: ast.Call, name: Optional[str]) -> None:
+        """Record a post-snapshot call outside the protected region."""
+        if name in SWAP_MUTATORS:
+            self._exposed.append((name, "", call.lineno,
+                                  call.col_offset))
+            return
+        encoded = self._encode_callee(call.func)
+        if encoded is not None:
+            self._exposed.append((name or encoded, encoded,
+                                  call.lineno, call.col_offset))
+
+    # -- REP801 facts --------------------------------------------------
+    def _tag_uses(self, call: ast.Call,
+                  name: Optional[str]) -> None:
+        dotted = self.imports.resolve(call.func)
+        if dotted in SEED_KEY_FACTORIES:
+            if call.args and isinstance(call.args[0], ast.List):
+                elts = call.args[0].elts
+                if len(elts) >= 2:
+                    self._classify_tag(elts[1], "key")
+            for keyword in call.keywords:
+                if (keyword.arg == "spawn_key"
+                        and isinstance(keyword.value,
+                                       (ast.List, ast.Tuple))):
+                    for elt in keyword.value.elts:
+                        self._classify_tag(elt, "key")
+        elif name == RESEED_METHOD:
+            for arg in call.args:
+                if isinstance(arg, ast.Constant):
+                    continue       # plain reseed(seed) has no tag slot
+                for sub in ast.walk(arg):
+                    self._classify_scalar_tag(sub)
+
+    def _classify_tag(self, elt: ast.expr, context: str) -> None:
+        if (isinstance(elt, ast.Constant)
+                and isinstance(elt.value, int)
+                and not isinstance(elt.value, bool)):
+            self.facts.tag_uses.append(TagUse(
+                "lit", elt.value, "", context, elt.lineno,
+                elt.col_offset, self.qualname))
+            return
+        if isinstance(elt, ast.Name):
+            value = self.module_consts.get(elt.id)
+            if value is not None:
+                self.facts.tag_uses.append(TagUse(
+                    "const", value, elt.id, context, elt.lineno,
+                    elt.col_offset, self.qualname))
+            return
+        if isinstance(elt, ast.Attribute):
+            dotted = self.imports.resolve(elt)
+            if dotted is not None and f"{REGISTRY_ATTR}." in dotted:
+                self.facts.tag_uses.append(TagUse(
+                    "ref", 0, dotted, context, elt.lineno,
+                    elt.col_offset, self.qualname))
+
+    def _classify_scalar_tag(self, node: ast.AST) -> None:
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, int)
+                and not isinstance(node.value, bool)
+                and node.value > 1):
+            self.facts.tag_uses.append(TagUse(
+                "lit", node.value, "", "scalar", node.lineno,
+                node.col_offset, self.qualname))
+        elif (isinstance(node, ast.Name)
+                and node.id in self.module_consts):
+            self.facts.tag_uses.append(TagUse(
+                "const", self.module_consts[node.id], node.id,
+                "scalar", node.lineno, node.col_offset,
+                self.qualname))
+        elif isinstance(node, ast.Attribute):
+            dotted = self.imports.resolve(node)
+            if dotted is not None and f"{REGISTRY_ATTR}." in dotted:
+                self.facts.tag_uses.append(TagUse(
+                    "ref", 0, dotted, "scalar", node.lineno,
+                    node.col_offset, self.qualname))
+
+    # -- REP802 facts --------------------------------------------------
+    def _handle_for(self, stmt: ast.stmt, protected: bool) -> None:
+        classified = self._classify_iter(stmt.iter)
+        self._scan_exprs([stmt.iter], protected)
+        if classified is None:
+            self._scan_body(stmt.body, protected)
+            self._scan_body(stmt.orelse, protected)
+            return
+        kind, desc = classified
+        sinks: List[str] = []
+        callees: List[str] = []
+        for sub in ast.walk(ast.Module(body=list(stmt.body),
+                                       type_ignores=[])):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _call_name(sub.func)
+            if name in SINK_CALLEES:
+                sinks.append(name)
+            encoded = self._encode_callee(sub.func)
+            if encoded is not None:
+                callees.append(encoded)
+        self.facts.unordered.append(UnorderedIter(
+            kind=kind, desc=desc, line=stmt.iter.lineno,
+            col=stmt.iter.col_offset, func=self.qualname,
+            sinks=tuple(dict.fromkeys(sinks)),
+            callees=tuple(dict.fromkeys(callees))))
+        self._scan_body(stmt.body, protected)
+        self._scan_body(stmt.orelse, protected)
+
+    def _classify_iter(self, iterable: ast.expr,
+                       ) -> Optional[Tuple[str, str]]:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            return "set", "a set literal"
+        if not isinstance(iterable, ast.Call):
+            return None
+        func = iterable.func
+        if isinstance(func, ast.Name):
+            if func.id in ("set", "frozenset"):
+                return "set", f"{func.id}(...)"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        dotted = self.imports.resolve(func)
+        if dotted in ("os.listdir", "os.scandir"):
+            return "fs", dotted
+        if func.attr in ("keys", "values", "items"):
+            return "dict-view", f".{func.attr}()"
+        if func.attr in ("iterdir", "glob", "rglob"):
+            return "fs", f".{func.attr}()"
+        return None
+
+    # -- REP803 facts --------------------------------------------------
+    def _boundary_payloads(self, call: ast.Call,
+                           name: Optional[str]) -> None:
+        channel: Optional[str] = None
+        payload: List[ast.expr] = []
+        if (name == "submit" and isinstance(call.func, ast.Attribute)
+                and self._receiver_matches(call.func.value,
+                                           EXECUTOR_RE)):
+            channel = "submit"
+            payload = list(call.args[1:]) \
+                + [kw.value for kw in call.keywords]
+        elif (name == "send" and isinstance(call.func, ast.Attribute)
+                and self._receiver_matches(call.func.value, PIPE_RE)):
+            channel = "send"
+            payload = list(call.args)
+        else:
+            dotted = self.imports.resolve(call.func)
+            if ((dotted is not None
+                    and dotted.endswith("ProcessPoolExecutor"))
+                    or name == "ProcessPoolExecutor"):
+                channel = "initargs"
+                payload = [kw.value for kw in call.keywords
+                           if kw.arg == "initargs"]
+        if channel is None:
+            return
+        for expr in payload:
+            self._classify_payload(expr, channel)
+
+    def _receiver_matches(self, expr: ast.expr,
+                          pattern: "re.Pattern[str]") -> bool:
+        if isinstance(expr, ast.Name):
+            return bool(pattern.search(expr.id))
+        if isinstance(expr, ast.Attribute):
+            return bool(pattern.search(expr.attr))
+        return False
+
+    def _classify_payload(self, expr: ast.expr, channel: str) -> None:
+        for sub in ast.walk(expr):
+            bad: Optional[Tuple[str, str]] = None
+            if isinstance(sub, ast.Lambda):
+                bad = ("lambda", "a lambda")
+            elif isinstance(sub, ast.GeneratorExp):
+                bad = ("generator", "a generator expression")
+            elif isinstance(sub, ast.Name):
+                if sub.id == "self":
+                    bad = ("self", "the bound instance (self)")
+                elif sub.id in self._nested:
+                    bad = ("nested", f"nested function {sub.id}()")
+                elif LOCKISH_RE.search(sub.id):
+                    bad = ("lock", f"lock-like object {sub.id!r}")
+                elif TRACERISH_RE.search(sub.id):
+                    bad = ("tracer", f"tracer {sub.id!r}")
+            elif isinstance(sub, ast.Attribute):
+                if LOCKISH_RE.search(sub.attr):
+                    bad = ("lock", f"lock-like attribute .{sub.attr}")
+                elif TRACERISH_RE.search(sub.attr):
+                    bad = ("tracer", f"tracer attribute .{sub.attr}")
+            if bad is not None:
+                self.facts.payloads.append(BoundaryPayload(
+                    channel=channel, kind=bad[0], desc=bad[1],
+                    line=sub.lineno, col=sub.col_offset,
+                    func=self.qualname))
+
+    # -- REP805 facts --------------------------------------------------
+    def _propagate_taint(self, targets: Sequence[ast.expr],
+                         value: ast.expr) -> None:
+        source = self._first_source(value)
+        tainted_by = source or next(
+            (f"local {n.id!r}" for n in ast.walk(value)
+             if isinstance(n, ast.Name) and n.id in self._tainted),
+            None)
+        if tainted_by is None:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._tainted.add(target.id)
+
+    def _first_source(self, expr: ast.expr) -> Optional[str]:
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            if (isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id" and len(sub.args) == 1):
+                return "id()"
+            dotted = self.imports.resolve(sub.func)
+            if dotted in NONDET_DOTTED:
+                return dotted
+        return None
+
+    def _sink_flows(self, call: ast.Call, sink: str) -> None:
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        for arg in args:
+            source = self._first_source(arg)
+            if source is not None:
+                self.facts.flows.append(NondetFlow(
+                    source=source, sink=sink, via="",
+                    line=call.lineno, col=call.col_offset,
+                    func=self.qualname))
+                continue
+            for sub in ast.walk(arg):
+                if (isinstance(sub, ast.Name)
+                        and sub.id in self._tainted):
+                    self.facts.flows.append(NondetFlow(
+                        source="a nondeterministic value", sink=sink,
+                        via=sub.id, line=call.lineno,
+                        col=call.col_offset, func=self.qualname))
+                    break
+
+    # -- shared helpers ------------------------------------------------
+    def _encode_callee(self, func: ast.expr) -> Optional[str]:
+        from .callgraph import encode_callee
+        return encode_callee(func, self.imports, self.own_class)
+
+
+def _module_consts(tree: ast.Module) -> Dict[str, int]:
+    """Module-level ``NAME = <int>`` constants (tag-candidate table)."""
+    consts: Dict[str, int] = {}
+    for node in tree.body:
+        if (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+                and not isinstance(node.value.value, bool)):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    consts[target.id] = node.value.value
+    return consts
+
+
+def _registry_tags(tree: ast.Module) -> List[RegistryTag]:
+    """Fields of a ``StreamTags`` class body, if this module has one."""
+    tags: List[RegistryTag] = []
+    for node in tree.body:
+        if not (isinstance(node, ast.ClassDef)
+                and node.name == REGISTRY_CLASS):
+            continue
+        for item in node.body:
+            name: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if (isinstance(item, ast.AnnAssign)
+                    and isinstance(item.target, ast.Name)):
+                name, value = item.target.id, item.value
+            elif (isinstance(item, ast.Assign) and len(item.targets) == 1
+                    and isinstance(item.targets[0], ast.Name)):
+                name, value = item.targets[0].id, item.value
+            if (name is not None and isinstance(value, ast.Constant)
+                    and isinstance(value.value, int)
+                    and not isinstance(value.value, bool)):
+                tags.append(RegistryTag(name, value.value,
+                                        item.lineno, item.col_offset))
+    return tags
+
+
+def extract_determinism(tree: ast.Module,
+                        imports: ImportMap) -> ModuleDeterminism:
+    """Extract every determinism fact from one parsed module."""
+    facts = ModuleDeterminism()
+    facts.registry_tags = _registry_tags(tree)
+    consts = _module_consts(tree)
+
+    def scan_function(node: ast.AST, own_class: Optional[str],
+                      qualname: str) -> None:
+        scanner = _FunctionDeterminismScanner(
+            facts, imports, own_class, qualname, consts)
+        scanner.scan(node)
+        for sub in node.body:
+            if isinstance(sub, (ast.FunctionDef,
+                                ast.AsyncFunctionDef)):
+                scan_function(sub, own_class,
+                              f"{qualname}.{sub.name}")
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_function(node, None, node.name)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    scan_function(item, node.name,
+                                  f"{node.name}.{item.name}")
+    facts.mutator_callers = sorted(set(facts.mutator_callers))
+    facts.sink_callers = sorted(set(facts.sink_callers))
+    return facts
+
+
+# ----------------------------------------------------------------------
+# Whole-program index
+# ----------------------------------------------------------------------
+FunctionId = Tuple[str, str]       #: (module name, qualname)
+
+
+class DeterminismIndex:
+    """Cross-module view the REP8xx rules query.
+
+    Holds the registry table (name -> value) plus two call-graph
+    fixed points: the set of functions that transitively call a swap
+    mutator, and the set that transitively reach a persisted/RNG sink.
+    Built once per analysis run and memoised on the project graph so
+    the five rules share one build.
+    """
+
+    def __init__(self, project: ProjectGraph,
+                 config: AnalysisConfig) -> None:
+        self.project = project
+        self.config = config
+        #: registry field name -> value (from the configured module)
+        self.registry: Dict[str, int] = {}
+        #: registry module name ("" when the registry is not scanned)
+        self.registry_module: str = ""
+        self.mutator_reaching: Set[FunctionId] = set()
+        self.sink_reaching: Set[FunctionId] = set()
+        self._build()
+
+    def _build(self) -> None:
+        project = self.project
+        mutator_seeds: Set[FunctionId] = set()
+        sink_seeds: Set[FunctionId] = set()
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            facts = summary.determinism
+            if summary.key == self.config.stream_tag_registry_key:
+                self.registry_module = module
+                for tag in facts.registry_tags:
+                    self.registry.setdefault(tag.name, tag.value)
+            for qualname in facts.mutator_callers:
+                mutator_seeds.add((module, qualname))
+            for qualname in facts.sink_callers:
+                sink_seeds.add((module, qualname))
+        self.mutator_reaching = self._callers_closure(mutator_seeds)
+        self.sink_reaching = self._callers_closure(sink_seeds)
+
+    def _callers_closure(self, seeds: Set[FunctionId],
+                         ) -> Set[FunctionId]:
+        """Fixed point: functions reaching ``seeds`` through calls."""
+        project = self.project
+        reaching = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for module in project.modules:
+                summary = project.modules[module]
+                for qualname, info in \
+                        summary.functions.functions.items():
+                    fid = (module, qualname)
+                    if fid in reaching:
+                        continue
+                    for call in info.calls:
+                        ref = project.resolve_call_ref(module,
+                                                       call.callee)
+                        if ref is None:
+                            continue
+                        if (ref[0], ref[1].qualname) in reaching:
+                            reaching.add(fid)
+                            changed = True
+                            break
+        return reaching
+
+    def reaches_mutator(self, module: str, callee: str) -> bool:
+        ref = self.project.resolve_call_ref(module, callee)
+        return (ref is not None
+                and (ref[0], ref[1].qualname) in self.mutator_reaching)
+
+    def reaches_sink(self, module: str, callee: str) -> bool:
+        ref = self.project.resolve_call_ref(module, callee)
+        return (ref is not None
+                and (ref[0], ref[1].qualname) in self.sink_reaching)
+
+
+def determinism_index(project: ProjectGraph,
+                      config: AnalysisConfig) -> DeterminismIndex:
+    """The (memoised) determinism index for one analysis run."""
+    cached = getattr(project, "_determinism_index", None)
+    if cached is not None and cached.config is config:
+        return cached
+    index = DeterminismIndex(project, config)
+    project._determinism_index = index    # type: ignore[attr-defined]
+    return index
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _in_scope(key: str, prefixes: Sequence[str]) -> bool:
+    return any(key == p or key.startswith(p) for p in prefixes)
+
+
+@register_graph
+class StreamTagRegistryRule(GraphRule):
+    """Every RNG stream tag comes from STREAM_TAGS and is unique."""
+
+    id = "REP801"
+    title = "stream-tag-registry"
+    severity = Severity.ERROR
+    description = (
+        "the tag slot of a derived-stream key (default_rng([seed, "
+        "TAG, ...]), SeedSequence(spawn_key=...), reseed(seed + TAG * "
+        "n)) must be spelled STREAM_TAGS.<NAME> from the central "
+        "repro.nn.rng registry: inline literals and module-local "
+        "constants recreate the comment-maintained tag namespace "
+        "whose collisions silently correlate streams the "
+        "bit-identical-replay contract needs independent.  Registry "
+        "values must also be globally unique (enforced here and at "
+        "import time).")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        index = determinism_index(project, config)
+        yield from self._registry_duplicates(project, config)
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            if not _in_scope(summary.key,
+                             config.determinism_scope_prefixes):
+                continue
+            if summary.key == config.stream_tag_registry_key:
+                continue           # the registry defines, not uses
+            for use in summary.determinism.tag_uses:
+                yield from self._check_use(module, use, index)
+
+    @staticmethod
+    def _registry_duplicates(project: ProjectGraph,
+                             config: AnalysisConfig,
+                             ) -> Iterator[RawGraphFinding]:
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            if summary.key != config.stream_tag_registry_key:
+                continue
+            seen: Dict[int, str] = {}
+            for tag in summary.determinism.registry_tags:
+                other = seen.get(tag.value)
+                if other is not None:
+                    yield (module, tag.line, tag.col,
+                           f"stream tag {tag.name} reuses value "
+                           f"{tag.value} already assigned to {other}; "
+                           f"registry values must be globally unique")
+                else:
+                    seen[tag.value] = tag.name
+
+    def _check_use(self, module: str, use: TagUse,
+                   index: DeterminismIndex,
+                   ) -> Iterator[RawGraphFinding]:
+        if use.kind == "lit":
+            yield (module, use.line, use.col,
+                   f"inline stream tag {use.value} in a "
+                   f"seed-derivation {self._ctx(use)} in {use.func}(); "
+                   f"register it in repro.nn.rng.STREAM_TAGS and "
+                   f"spell it STREAM_TAGS.<NAME>")
+        elif use.kind == "const":
+            yield (module, use.line, use.col,
+                   f"module-local stream tag {use.name} (= "
+                   f"{use.value}) in a seed-derivation "
+                   f"{self._ctx(use)} in {use.func}(); move it into "
+                   f"repro.nn.rng.STREAM_TAGS")
+        elif use.kind == "ref":
+            member = use.name.rpartition(f"{REGISTRY_ATTR}.")[2]
+            if index.registry and member not in index.registry:
+                yield (module, use.line, use.col,
+                       f"STREAM_TAGS.{member} is not a registered "
+                       f"stream tag; add it to the StreamTags "
+                       f"registry in repro.nn.rng")
+
+    @staticmethod
+    def _ctx(use: TagUse) -> str:
+        return ("entropy key" if use.context == "key"
+                else "reseed expression")
+
+
+@register_graph
+class UnorderedIterationRule(GraphRule):
+    """No unordered iteration feeding persisted state or RNG keys."""
+
+    id = "REP802"
+    title = "unordered-iteration"
+    severity = Severity.ERROR
+    description = (
+        "iterating a set, an un-sorted() dict view, or a filesystem "
+        "listing in a loop that writes the journal / a checkpoint or "
+        "derives an RNG key makes the persisted order depend on hash "
+        "seeding, insertion (completion) order, or directory order — "
+        "serial and concurrent replays then journal different byte "
+        "streams.  Wrap the iterable in sorted(...); dict views are "
+        "flagged only when a sink is called directly in the loop "
+        "body, sets and fs listings also through project calls.")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        index = determinism_index(project, config)
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            if not _in_scope(summary.key,
+                             config.determinism_scope_prefixes):
+                continue
+            for it in summary.determinism.unordered:
+                sink = it.sinks[0] if it.sinks else None
+                via = None
+                if sink is None and it.kind in ("set", "fs"):
+                    via = next(
+                        (c for c in it.callees
+                         if index.reaches_sink(module, c)), None)
+                if sink is None and via is None:
+                    continue
+                how = (f"calls {sink}()" if sink is not None
+                       else f"reaches a persistence/RNG sink via "
+                            f"{via.rpartition(':')[2]}()")
+                yield (module, it.line, it.col,
+                       f"{it.func}() iterates {it.desc} (unordered) "
+                       f"in a loop that {how}; iterate "
+                       f"sorted(...) so replayed runs persist an "
+                       f"identical order")
+
+
+@register_graph
+class PickleBoundaryRule(GraphRule):
+    """Only plain data crosses process boundaries."""
+
+    id = "REP803"
+    title = "pickle-boundary"
+    severity = Severity.ERROR
+    description = (
+        "a value shipped through executor.submit(...), conn.send(...) "
+        "or ProcessPoolExecutor(initargs=...) is pickled into the "
+        "worker: lambdas, generator expressions and nested functions "
+        "fail outright under spawn, and self / locks / tracers drag "
+        "live unpicklable state (or a whole instance) across the "
+        "boundary.  Ship ndarrays, primitives and frozen dataclasses "
+        "— like updater._process_payload does (extends REP704 from "
+        "worker targets to worker payloads).")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        channels = {"submit": "executor.submit(...)",
+                    "send": "conn.send(...)",
+                    "initargs": "ProcessPoolExecutor initargs"}
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            if not _in_scope(summary.key,
+                             config.determinism_scope_prefixes):
+                continue
+            for payload in summary.determinism.payloads:
+                yield (module, payload.line, payload.col,
+                       f"{payload.func}() ships {payload.desc} "
+                       f"through {channels[payload.channel]}; only "
+                       f"plain data (ndarrays, primitives, frozen "
+                       f"dataclasses) may cross the pickle boundary")
+
+
+@register_graph
+class SwapPairingRule(GraphRule):
+    """snapshot_swap_state is paired with an exception-path restore."""
+
+    id = "REP804"
+    title = "swap-pairing"
+    severity = Severity.ERROR
+    description = (
+        "a function that captures snapshot_swap_state() and then "
+        "mutates swap-scoped state (install_update, directly or "
+        "through project calls) must wrap the mutation in a try whose "
+        "except/finally path calls restore_swap_state — otherwise a "
+        "mid-swap failure leaves θ/P̃/inventories half-updated and "
+        "every later verdict diverges from replay.  Follow the "
+        "updater._install() pattern: snapshot, try-mutate-publish, "
+        "except rollback-and-raise.")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        index = determinism_index(project, config)
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            if not _in_scope(summary.key,
+                             config.determinism_scope_prefixes):
+                continue
+            for snap in summary.determinism.snapshots:
+                yield from self._check_snapshot(module, snap, index)
+
+    @staticmethod
+    def _check_snapshot(module: str, snap: SwapSnapshot,
+                        index: DeterminismIndex,
+                        ) -> Iterator[RawGraphFinding]:
+        for display, encoded, line, col in snap.exposed:
+            direct = display in SWAP_MUTATORS
+            if not direct and not (
+                    encoded
+                    and index.reaches_mutator(module, encoded)):
+                continue
+            what = (f"{display}()" if direct
+                    else f"{display.rpartition(':')[2]}() (which "
+                         f"reaches a swap mutator)")
+            tail = ("restore_swap_state is never called on the "
+                    "failure path"
+                    if not snap.has_restore else
+                    "this call sits outside the try block whose "
+                    "except/finally restores")
+            yield (module, line, col,
+                   f"{snap.func}() calls {what} after "
+                   f"snapshot_swap_state() without an exception path "
+                   f"to restore_swap_state: {tail}; wrap the "
+                   f"mutation in try/except rollback")
+
+
+@register_graph
+class NondetFlowRule(GraphRule):
+    """No pid/ident/address/clock entropy in persisted state or keys."""
+
+    id = "REP805"
+    title = "nondet-source"
+    severity = Severity.ERROR
+    description = (
+        "os.getpid / threading.get_ident / id() / uuid.uuid4 / wall "
+        "clocks are different on every run; feeding one (directly or "
+        "through a local) into a journal write, checkpoint payload, "
+        "or RNG key makes replay diverge by construction.  Derive "
+        "identity from deterministic inputs (sequence numbers, "
+        "content digests) instead; wall clocks are exempt inside "
+        "config.wallclock_allowed_prefixes (the obs layer).")
+
+    def check_project(self, project: ProjectGraph,
+                      config: AnalysisConfig,
+                      ) -> Iterator[RawGraphFinding]:
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            if not _in_scope(summary.key,
+                             config.determinism_scope_prefixes):
+                continue
+            clock_ok = _in_scope(summary.key,
+                                 config.wallclock_allowed_prefixes)
+            for flow in summary.determinism.flows:
+                if clock_ok and flow.source.startswith(
+                        WALLCLOCK_PREFIXES):
+                    continue
+                via = (f" (through local {flow.via!r})"
+                       if flow.via else "")
+                yield (module, flow.line, flow.col,
+                       f"{flow.func}() feeds {flow.source} into "
+                       f"{flow.sink}(){via}; nondeterministic "
+                       f"sources must not reach persisted state or "
+                       f"RNG keys")

@@ -29,7 +29,8 @@ import ast
 import os
 import re
 from pathlib import PurePosixPath
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from .cache import AnalysisCache, content_digest
 from .config import DEFAULT_CONFIG, AnalysisConfig
@@ -37,10 +38,11 @@ from .findings import (SUPPRESSED_BASELINE, AnalysisResult, Finding,
                        Severity)
 from .graph import ModuleSummary, ProjectGraph
 from .rules import ModuleContext, all_graph_rules, all_rules
-# Importing the module registers the REP7xx graph rules (they live in
-# their own module to keep rules.py free of a rules <-> concurrency
-# import cycle).
+# Importing the modules registers the REP7xx / REP8xx graph rules
+# (they live in their own modules to keep rules.py free of a
+# rules <-> concurrency/determinism import cycle).
 from . import concurrency as _concurrency  # noqa: F401
+from . import determinism as _determinism  # noqa: F401
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
@@ -116,6 +118,19 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
         yield file
 
 
+def rule_enabled(rule_id: str,
+                 rules: Optional[Sequence[str]]) -> bool:
+    """True when ``rule_id`` matches the ``--rules`` prefix filter.
+
+    No filter (None/empty) enables everything; REP001 (syntax error)
+    is always enabled — a family-scoped run on an unparseable file
+    must still say so rather than reporting it clean.
+    """
+    if not rules or rule_id == "REP001":
+        return True
+    return any(rule_id.startswith(prefix) for prefix in rules)
+
+
 def _noqa_rules(line: str) -> Optional[frozenset]:
     """Rules silenced on this line; empty frozenset means *all*."""
     match = _NOQA_RE.search(line)
@@ -129,6 +144,7 @@ def _noqa_rules(line: str) -> Optional[frozenset]:
 
 def _analyze_module(source: str, path: str, key: str,
                     config: AnalysisConfig,
+                    rules: Optional[Sequence[str]] = None,
                     ) -> Tuple[List[Finding], Optional[ModuleSummary]]:
     """Per-file pass: findings (post-noqa) plus the module summary."""
     lines = source.splitlines()
@@ -145,6 +161,8 @@ def _analyze_module(source: str, path: str, key: str,
     ctx = ModuleContext(path, key, tree, lines, config)
     findings: List[Finding] = []
     for rule in all_rules():
+        if not rule_enabled(rule.id, rules):
+            continue
         for line, col, message in rule.check(ctx):
             text = lines[line - 1] if 0 < line <= len(lines) else ""
             findings.append(Finding(
@@ -191,10 +209,13 @@ def _apply_noqa(findings: List[Finding], lines: List[str]) -> None:
 
 def _graph_findings(graph: ProjectGraph, config: AnalysisConfig,
                     file_lines: Dict[str, List[str]],
+                    rules: Optional[Sequence[str]] = None,
                     ) -> List[Finding]:
-    """Run the REP6xx whole-program rules over the project graph."""
+    """Run the whole-program rules over the project graph."""
     findings: List[Finding] = []
     for rule in all_graph_rules():
+        if not rule_enabled(rule.id, rules):
+            continue
         for module, line, col, message in rule.check_project(
                 graph, config):
             summary = graph.modules.get(module)
@@ -219,6 +240,7 @@ def analyze_paths(paths: Iterable[str],
                   config: Optional[AnalysisConfig] = None,
                   baseline: Optional[Dict[str, Dict[str, object]]] = None,
                   cache_dir: Optional[str] = None,
+                  rules: Optional[Sequence[str]] = None,
                   ) -> AnalysisResult:
     """Analyze every python file under ``paths``.
 
@@ -227,6 +249,12 @@ def analyze_paths(paths: Iterable[str],
     are marked suppressed, unmatched entries are reported stale.
     ``cache_dir`` enables the incremental cache: unchanged files
     replay their findings and summary instead of being re-parsed.
+    ``rules`` restricts the run to rule ids matching any of the given
+    prefixes (``["REP8"]`` runs only the determinism family).  A
+    filtered run replays cached findings through the filter but never
+    *stores* its (partial) per-file findings, so it cannot poison a
+    later full run; stale-baseline reporting is likewise restricted
+    to entries whose rule matches the filter.
     """
     config = config or DEFAULT_CONFIG
     baseline = baseline or {}
@@ -252,20 +280,25 @@ def analyze_paths(paths: Iterable[str],
             for finding in findings:
                 if finding.suppressed == SUPPRESSED_BASELINE:
                     finding.suppressed = None
+            if rules:
+                findings = [f for f in findings
+                            if rule_enabled(f.rule, rules)]
             result.cache_hits += 1
         else:
             findings, summary = _analyze_module(
-                source, path, key, config)
+                source, path, key, config, rules=rules)
             if cache is not None:
-                cache.store(path, digest, key, findings, summary)
                 result.cache_misses += 1
+                if not rules:
+                    cache.store(path, digest, key, findings, summary)
         if summary is not None:
             summaries.append((path, summary))
         file_lines[path] = source.splitlines()
         all_findings.extend(findings)
         result.files_scanned += 1
     graph = ProjectGraph.build(summaries)
-    all_findings.extend(_graph_findings(graph, config, file_lines))
+    all_findings.extend(
+        _graph_findings(graph, config, file_lines, rules=rules))
     matched: set = set()
     for finding in all_findings:
         if (finding.suppressed is None
@@ -274,7 +307,11 @@ def analyze_paths(paths: Iterable[str],
             matched.add(finding.fingerprint)
     all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     result.findings = all_findings
-    result.stale_baseline = sorted(set(baseline) - matched)
+    considered = {
+        fp for fp, record in baseline.items()
+        if rule_enabled(str(record.get("rule", "")), rules)
+    } if rules else set(baseline)
+    result.stale_baseline = sorted(considered - matched)
     if cache is not None:
         cache.prune(scanned)
         cache.save()

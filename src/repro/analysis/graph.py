@@ -35,12 +35,19 @@ from .symbols import (ImportRecord, ModuleSymbols, absolutize,
 
 if TYPE_CHECKING:
     from .concurrency import ModuleConcurrency
+    from .determinism import ModuleDeterminism
 
 
 def _empty_concurrency() -> "ModuleConcurrency":
     # Deferred: concurrency.py imports this module at the top level.
     from .concurrency import ModuleConcurrency
     return ModuleConcurrency()
+
+
+def _empty_determinism() -> "ModuleDeterminism":
+    # Deferred: determinism.py imports this module at the top level.
+    from .determinism import ModuleDeterminism
+    return ModuleDeterminism()
 
 
 @dataclass
@@ -55,6 +62,8 @@ class ModuleSummary:
     functions: ModuleFunctions = field(default_factory=ModuleFunctions)
     concurrency: "ModuleConcurrency" = field(
         default_factory=_empty_concurrency)
+    determinism: "ModuleDeterminism" = field(
+        default_factory=_empty_determinism)
 
     def to_dict(self) -> Dict[str, object]:
         return {"key": self.key, "name": self.name,
@@ -62,11 +71,13 @@ class ModuleSummary:
                 "imports": [r.to_dict() for r in self.imports],
                 "symbols": self.symbols.to_dict(),
                 "functions": self.functions.to_dict(),
-                "concurrency": self.concurrency.to_dict()}
+                "concurrency": self.concurrency.to_dict(),
+                "determinism": self.determinism.to_dict()}
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "ModuleSummary":
         from .concurrency import ModuleConcurrency
+        from .determinism import ModuleDeterminism
         return cls(key=str(d["key"]), name=str(d["name"]),
                    is_package=bool(d["is_package"]),
                    imports=[ImportRecord.from_dict(r)
@@ -74,7 +85,9 @@ class ModuleSummary:
                    symbols=ModuleSymbols.from_dict(d["symbols"]),
                    functions=ModuleFunctions.from_dict(d["functions"]),
                    concurrency=ModuleConcurrency.from_dict(
-                       d["concurrency"]))
+                       d["concurrency"]),
+                   determinism=ModuleDeterminism.from_dict(
+                       d["determinism"]))
 
     @classmethod
     def build(cls, tree, key: str,
@@ -89,6 +102,7 @@ class ModuleSummary:
         from .rules import ImportMap
         from .callgraph import extract_functions
         from .concurrency import extract_concurrency
+        from .determinism import extract_determinism
         from .symbols import extract_symbols
 
         name = module_name_from_key(key)
@@ -97,9 +111,11 @@ class ModuleSummary:
         imports, symbols = extract_symbols(tree, name, package, imap)
         functions = extract_functions(tree, imap)
         concurrency = extract_concurrency(tree, imap, lines)
+        determinism = extract_determinism(tree, imap)
         return cls(key=key, name=name, is_package=package,
                    imports=imports, symbols=symbols,
-                   functions=functions, concurrency=concurrency)
+                   functions=functions, concurrency=concurrency,
+                   determinism=determinism)
 
 
 @dataclass

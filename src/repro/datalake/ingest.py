@@ -57,6 +57,7 @@ from ..core.detector import DetectionResult
 from ..core.enld import ENLD, DetectionSnapshot
 from ..nn.data import LabeledDataset
 from ..nn.models import Classifier
+from ..nn.rng import STREAM_TAGS
 from ..obs import (NullTracer, Stopwatch, Tracer, current_tracer, incr,
                    observe, trace_span, use_tracer)
 from .platform import NoisyLabelPlatform, SubmissionReport
@@ -68,11 +69,6 @@ from .stream import ArrivalStream
 #: sequential baseline), ``thread`` (default) and ``process``.
 INGEST_MODES = ("serial", "thread", "process")
 
-#: RNG stream tags deriving per-arrival detection / backoff-jitter
-#: streams; distinct from every other tag in the project (5227
-#: submission jitter, 9973 update jobs, 7919 reseeds).
-_DETECT_TAG = 8191
-_JITTER_TAG = 4409
 
 #: A lake-fetch model: materialise one arrival's payload (the I/O bound
 #: prefix of a submission).  Identity when ``None``.
@@ -94,7 +90,7 @@ def arrival_rng(seed: int, name: str, attempt: int = 0
     identical streams per arrival.
     """
     return np.random.default_rng(
-        [seed, _DETECT_TAG, arrival_rng_key(name), attempt])
+        [seed, STREAM_TAGS.DETECT, arrival_rng_key(name), attempt])
 
 
 @dataclass
@@ -148,8 +144,8 @@ def retry_detect(
     for attempt in range(attempts):
         if attempt > 0:
             jitter_rng = np.random.default_rng(
-                [seed, _JITTER_TAG, arrival_rng_key(dataset.name),
-                 attempt])
+                [seed, STREAM_TAGS.INGEST_JITTER,
+                 arrival_rng_key(dataset.name), attempt])
             retry.sleep(retry.backoff_seconds(attempt - 1, rng=jitter_rng))
         rng = arrival_rng(seed, dataset.name, attempt)
         try:

@@ -53,6 +53,7 @@ from ..core.enld import ENLD
 from ..core.scheduler import (UpdateScheduler, scheduler_from_state,
                               scheduler_to_state)
 from ..nn.data import LabeledDataset
+from ..nn.rng import STREAM_TAGS
 from ..nn.serialize import load_checkpoint, save_checkpoint
 from ..obs import (Tracer, incr, merge_trace_dicts, trace_span,
                    use_span_hook, use_tracer)
@@ -404,14 +405,15 @@ class NoisyLabelPlatform:
                 # replayed run backs off identically) yet decorrelated
                 # across submissions (no synchronized retry storms).
                 jitter_rng = np.random.default_rng(
-                    [self.enld.config.seed, 5227, self.submissions,
-                     attempt])
+                    [self.enld.config.seed, STREAM_TAGS.SUBMIT_JITTER,
+                     self.submissions, attempt])
                 self.retry.sleep(self.retry.backoff_seconds(
                     attempt - 1, rng=jitter_rng))
                 # Re-roll the detection RNG: a failure tied to one
                 # unlucky sampling draw should not repeat verbatim.
                 self.enld.reseed(
-                    self.enld.config.seed + 7919 * attempt)
+                    self.enld.config.seed
+                    + STREAM_TAGS.RESEED * attempt)
             try:
                 with use_span_hook(self._fault_injector):
                     return (self.enld.detect(dataset), attempt,

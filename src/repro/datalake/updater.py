@@ -65,15 +65,12 @@ from ..core.enld import ENLD
 from ..core.update import UpdateResult, model_update
 from ..nn.data import LabeledDataset
 from ..nn.models import Classifier
+from ..nn.rng import STREAM_TAGS
 from ..nn.serialize import clone_module, state_digest
 from ..obs import (NullTracer, Stopwatch, Tracer, current_tracer,
                    trace_span, use_span_hook, use_tracer)
 from .catalog import DataLakeCatalog, ModelVersion
 from .resilience import FailureEvent, RetryPolicy, describe_failure
-
-#: RNG sub-stream tags (SeedSequence spawn keys) owned by the service.
-_TRAIN_STREAM = 9973
-_BACKOFF_STREAM = 7717
 
 #: Update-worker modes accepted by :class:`UpdaterConfig`.
 UPDATER_MODES = ("inline", "thread", "process")
@@ -523,7 +520,8 @@ class ModelUpdateService:
         # crash or transient fault reproduces the identical weights,
         # and the detection RNG stream is never consumed — an aborted
         # update leaves detection byte-identical to no update at all.
-        return [int(self._enld.config.seed), _TRAIN_STREAM, job.seq]
+        return [int(self._enld.config.seed), STREAM_TAGS.UPDATE_TRAIN,
+                job.seq]
 
     def _train_job(self, job: UpdateJob, model: Optional[Classifier],
                    i_t: Optional[LabeledDataset],
@@ -713,8 +711,8 @@ class ModelUpdateService:
             self._abandon_worker()
         else:
             rng = np.random.default_rng(
-                [int(self._enld.config.seed), _BACKOFF_STREAM, job.seq,
-                 job.attempts])
+                [int(self._enld.config.seed),
+                 STREAM_TAGS.UPDATE_BACKOFF, job.seq, job.attempts])
             self._backoff_needed = self._config.retry.backoff_seconds(
                 job.attempts - 1, rng=rng)
             self._backoff_watch = (Stopwatch().start()

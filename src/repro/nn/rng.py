@@ -1,4 +1,4 @@
-"""RNG-discipline helper: the one sanctioned Generator fallback.
+"""RNG discipline: the sanctioned fallback and the stream-tag registry.
 
 The platform's checkpoint/replay guarantee (DESIGN.md §8) requires
 every random draw to come from a seeded, threaded
@@ -7,16 +7,68 @@ fallbacks draw OS entropy and silently diverge on resume — the
 ``REP102`` analysis rule bans them.  Optional-``rng`` APIs resolve
 their default through this helper instead, so "caller didn't care"
 means *deterministic*, never *nondeterministic*.
+
+This module is also the **stream-tag registry**: every derived RNG
+stream in the project is keyed as ``[seed, TAG, ...]`` (a SeedSequence
+entropy list), and two call sites reusing one TAG silently correlate
+streams that the bit-identical-replay contract needs independent.
+:data:`STREAM_TAGS` is the single namespace those tags live in;
+uniqueness is enforced at import time here and statically at every
+use site by the ``REP801`` analysis rule (tags must be spelled
+``STREAM_TAGS.<NAME>``, never as inline literals).
 """
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 #: Seed used when a caller leaves an optional ``rng`` unset.
 DEFAULT_FALLBACK_SEED = 0
+
+
+@dataclass(frozen=True)
+class StreamTags:
+    """The project-wide RNG stream-tag namespace (one int per stream).
+
+    Each field names one derived stream family; the value is the tag
+    mixed into the SeedSequence entropy list at the deriving call
+    site.  Add new streams here — never as inline literals — so the
+    namespace stays collision-free by construction.
+    """
+
+    #: Per-arrival detection streams (``ingest.arrival_rng``).
+    DETECT: int = 8191
+    #: Per-arrival retry backoff jitter (``ingest.retry_detect``).
+    INGEST_JITTER: int = 4409
+    #: Per-submission retry backoff jitter (``platform.submit``).
+    SUBMIT_JITTER: int = 5227
+    #: Detection re-roll between submit retry attempts.
+    RESEED: int = 7919
+    #: Async model-update training streams (``updater``).
+    UPDATE_TRAIN: int = 9973
+    #: Async model-update retry backoff (``updater``).
+    UPDATE_BACKOFF: int = 7717
+
+    def __post_init__(self) -> None:
+        values = [getattr(self, f.name)
+                  for f in dataclasses.fields(self)]
+        if any(v <= 0 for v in values):
+            raise ValueError("stream tags must be positive integers")
+        if len(values) != len(set(values)):
+            raise ValueError(
+                "duplicate stream tag values in StreamTags")
+
+    def names(self) -> tuple:
+        """Field names, in declaration order."""
+        return tuple(f.name for f in dataclasses.fields(self))
+
+
+#: The one registry instance every deriving call site imports.
+STREAM_TAGS = StreamTags()
 
 
 def resolve_rng(rng: Optional[np.random.Generator],

@@ -340,7 +340,9 @@ class TestEngineHelpers:
         assert sorted(GRAPH_RULES) == ["REP601", "REP602",
                                        "REP603", "REP604",
                                        "REP701", "REP702",
-                                       "REP703", "REP704", "REP705"]
+                                       "REP703", "REP704", "REP705",
+                                       "REP801", "REP802",
+                                       "REP803", "REP804", "REP805"]
         assert not set(RULES) & set(GRAPH_RULES)
 
     def test_config_is_immutable(self):
@@ -536,3 +538,6 @@ class TestLiveTree:
         assert entry["rule"] == "REP603"
         assert entry["path"] == "repro/eval/timer.py"
         assert "Stopwatch" in entry["message"]
+        # Every surviving grandfather must say *why* it stays; the
+        # reason rides along through ``--write-baseline`` rewrites.
+        assert "facade" in str(entry["reason"])

@@ -1,0 +1,768 @@
+"""Tests for the determinism analysis (REP8xx).
+
+Covers the ``StreamTags`` registry contract (import-time uniqueness),
+fact extraction (tag uses, unordered iteration, pickle payloads,
+snapshot pairing, nondet flows), each of the five rules on minimal
+fixture trees — including deliberately broken copies of the real
+idioms (duplicate registry tag, unsorted dict iteration into a
+journal write, unpaired snapshot) — SARIF round-trip, fingerprint
+stability under line shifts, warm-cache replay, the ``--rules``
+family filter, and the live-tree meta-tests that keep the real
+codebase REP8xx-clean.
+"""
+
+import ast
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.analysis import analyze_paths, render_sarif
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.config import DEFAULT_CONFIG
+from repro.analysis.deps import build_graph
+from repro.analysis.determinism import (determinism_index,
+                                        extract_determinism)
+from repro.analysis.engine import rule_enabled
+from repro.analysis.rules import ImportMap
+from repro.cli import main as cli_main
+from repro.nn.rng import STREAM_TAGS, StreamTags
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LIVE_SRC = os.path.join(REPO_ROOT, "src")
+
+
+def write_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under ``tmp_path`` and return it."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return str(tmp_path)
+
+
+def active_rules(result):
+    return sorted({f.rule for f in result.findings
+                   if f.suppressed is None})
+
+
+def active(result, rule):
+    return [f for f in result.findings
+            if f.rule == rule and f.suppressed is None]
+
+
+#: Registry module planted at the configured key in fixture trees.
+REGISTRY_PY = (
+    "class StreamTags:\n"
+    "    DETECT: int = 8191\n"
+    "    INGEST_JITTER: int = 4409\n"
+    "\n"
+    "\n"
+    "STREAM_TAGS = StreamTags()\n")
+
+#: Package scaffolding every fixture tree shares.
+PKG = {
+    "repro/__init__.py": "",
+    "repro/nn/__init__.py": "",
+    "repro/nn/rng.py": REGISTRY_PY,
+    "repro/datalake/__init__.py": "",
+}
+
+
+def tree(tmp_path, module_source, rel="repro/datalake/stream.py"):
+    files = dict(PKG)
+    files[rel] = module_source
+    return write_tree(tmp_path, files)
+
+
+# ----------------------------------------------------------------------
+# The StreamTags registry itself (satellite 1)
+# ----------------------------------------------------------------------
+class TestStreamTagsRegistry:
+    def test_default_values_positive_and_unique(self):
+        values = [getattr(STREAM_TAGS, name)
+                  for name in STREAM_TAGS.names()]
+        assert all(isinstance(v, int) and v > 0 for v in values)
+        assert len(set(values)) == len(values)
+
+    def test_names_cover_every_field(self):
+        assert sorted(STREAM_TAGS.names()) == sorted(
+            f.name for f in dataclasses.fields(StreamTags))
+
+    def test_duplicate_value_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            StreamTags(DETECT=STREAM_TAGS.INGEST_JITTER)
+
+    def test_non_positive_value_rejected(self):
+        with pytest.raises(ValueError):
+            StreamTags(DETECT=0)
+        with pytest.raises(ValueError):
+            StreamTags(RESEED=-7919)
+
+    def test_registry_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            STREAM_TAGS.DETECT = 1
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+class TestExtraction:
+    def parse(self, source):
+        tree_ = ast.parse(source)
+        return extract_determinism(tree_, ImportMap(tree_))
+
+    def test_entropy_list_tag_kinds(self):
+        facts = self.parse(
+            "import numpy as np\n"
+            "from repro.nn.rng import STREAM_TAGS\n"
+            "_LOCAL = 4409\n"
+            "def a(seed, key):\n"
+            "    return np.random.default_rng([seed, 1234, key])\n"
+            "def b(seed, key):\n"
+            "    return np.random.default_rng([seed, _LOCAL, key])\n"
+            "def c(seed, key):\n"
+            "    return np.random.default_rng(\n"
+            "        [seed, STREAM_TAGS.DETECT, key])\n")
+        kinds = [(u.kind, u.value, u.name, u.context)
+                 for u in facts.tag_uses]
+        assert ("lit", 1234, "", "key") in kinds
+        assert ("const", 4409, "_LOCAL", "key") in kinds
+        assert any(k == "ref" and n.endswith("STREAM_TAGS.DETECT")
+                   and c == "key" for k, v, n, c in kinds)
+
+    def test_reseed_scalar_tag(self):
+        facts = self.parse(
+            "def retry(enld, seed, attempt):\n"
+            "    enld.reseed(seed + 7919 * attempt)\n")
+        assert [(u.kind, u.value, u.context)
+                for u in facts.tag_uses] == [("lit", 7919, "scalar")]
+
+    def test_plain_reseed_has_no_tag_slot(self):
+        facts = self.parse(
+            "def again(enld, seed):\n"
+            "    enld.reseed(seed)\n")
+        assert facts.tag_uses == []
+
+    def test_registry_class_body_extracted(self):
+        facts = self.parse(REGISTRY_PY)
+        assert [(t.name, t.value) for t in facts.registry_tags] == [
+            ("DETECT", 8191), ("INGEST_JITTER", 4409)]
+
+    def test_set_iteration_with_direct_sink(self):
+        facts = self.parse(
+            "from repro.datalake.persistence import append_journal\n"
+            "def flush(names, path):\n"
+            "    for name in set(names):\n"
+            "        append_journal(path, {'name': name})\n")
+        (it,) = facts.unordered
+        assert it.kind == "set" and "append_journal" in it.sinks
+
+    def test_sorted_iteration_not_recorded(self):
+        facts = self.parse(
+            "def flush(reports):\n"
+            "    for name in sorted(reports.keys()):\n"
+            "        print(name)\n")
+        assert facts.unordered == []
+
+    def test_snapshot_without_restore(self):
+        facts = self.parse(
+            "def swap(self, model):\n"
+            "    state = snapshot_swap_state(self)\n"
+            "    install_update(self, model)\n")
+        (snap,) = facts.snapshots
+        assert not snap.has_restore
+        assert [e[0] for e in snap.exposed] == ["install_update"]
+
+    def test_snapshot_with_protected_mutation(self):
+        facts = self.parse(
+            "def swap(self, model):\n"
+            "    state = snapshot_swap_state(self)\n"
+            "    try:\n"
+            "        install_update(self, model)\n"
+            "    except Exception:\n"
+            "        restore_swap_state(self, state)\n"
+            "        raise\n")
+        (snap,) = facts.snapshots
+        assert snap.has_restore and snap.exposed == ()
+
+    def test_taint_through_one_local(self):
+        facts = self.parse(
+            "import os\n"
+            "def stamp(path, append_journal):\n"
+            "    pid = os.getpid()\n"
+            "    append_journal(path, {'pid': pid})\n")
+        (flow,) = facts.flows
+        assert flow.via == "pid" and flow.sink == "append_journal"
+
+    def test_facts_round_trip_serialisation(self):
+        source = (
+            "import os\n"
+            "import numpy as np\n"
+            "def bad(seed, path, append_journal, executor, work):\n"
+            "    rng = np.random.default_rng([seed, 99, 0])\n"
+            "    for item in set(path):\n"
+            "        append_journal(path, item)\n"
+            "    executor.submit(work, lambda: 1)\n"
+            "    append_journal(path, os.getpid())\n"
+            "def swap(self, m):\n"
+            "    s = snapshot_swap_state(self)\n"
+            "    install_update(self, m)\n")
+        facts = self.parse(source)
+        from repro.analysis.determinism import ModuleDeterminism
+        replayed = ModuleDeterminism.from_dict(
+            json.loads(json.dumps(facts.to_dict())))
+        assert replayed == facts
+        assert facts.tag_uses and facts.unordered and facts.payloads
+        assert facts.snapshots and facts.flows
+
+
+# ----------------------------------------------------------------------
+# REP801: stream-tag registry
+# ----------------------------------------------------------------------
+class TestStreamTagRule:
+    def test_inline_literal_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "import numpy as np\n"
+            "def arrival(seed, key):\n"
+            "    return np.random.default_rng([seed, 1234, key])\n"))
+        (finding,) = active(analyze_paths([root]), "REP801")
+        assert "inline stream tag 1234" in finding.message
+        assert "STREAM_TAGS" in finding.message
+
+    def test_module_local_constant_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "import numpy as np\n"
+            "_DETECT_TAG = 8191\n"
+            "def arrival(seed, key):\n"
+            "    return np.random.default_rng("
+            "[seed, _DETECT_TAG, key])\n"))
+        (finding,) = active(analyze_paths([root]), "REP801")
+        assert "_DETECT_TAG" in finding.message
+        assert "move it into" in finding.message
+
+    def test_unregistered_member_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "import numpy as np\n"
+            "from ..nn.rng import STREAM_TAGS\n"
+            "def arrival(seed, key):\n"
+            "    return np.random.default_rng(\n"
+            "        [seed, STREAM_TAGS.NOPE, key])\n"))
+        (finding,) = active(analyze_paths([root]), "REP801")
+        assert "STREAM_TAGS.NOPE is not a registered" in finding.message
+
+    def test_registered_member_clean(self, tmp_path):
+        root = tree(tmp_path, (
+            "import numpy as np\n"
+            "from ..nn.rng import STREAM_TAGS\n"
+            "def arrival(seed, key):\n"
+            "    return np.random.default_rng(\n"
+            "        [seed, STREAM_TAGS.DETECT, key])\n"))
+        assert "REP801" not in active_rules(analyze_paths([root]))
+
+    def test_reseed_scalar_literal_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "def retry(enld, seed, attempt):\n"
+            "    enld.reseed(seed + 7919 * attempt)\n"))
+        (finding,) = active(analyze_paths([root]), "REP801")
+        assert "reseed expression" in finding.message
+
+    def test_duplicate_registry_value_flagged(self, tmp_path):
+        # Deliberately broken copy of the real registry: two names
+        # sharing one value silently correlate their streams.
+        files = dict(PKG)
+        files["repro/nn/rng.py"] = (
+            "class StreamTags:\n"
+            "    DETECT: int = 8191\n"
+            "    RESEED: int = 8191\n"
+            "\n"
+            "\n"
+            "STREAM_TAGS = StreamTags()\n")
+        root = write_tree(tmp_path, files)
+        (finding,) = active(analyze_paths([root]), "REP801")
+        assert "RESEED reuses value 8191" in finding.message
+        assert "DETECT" in finding.message
+
+    def test_registry_module_itself_exempt(self, tmp_path):
+        # The registry is the one place integer tags are legal — a
+        # default_rng key built inside rng.py must not self-flag.
+        files = dict(PKG)
+        files["repro/nn/rng.py"] = REGISTRY_PY + (
+            "\n"
+            "import numpy as np\n"
+            "def resolve_rng(seed, key):\n"
+            "    return np.random.default_rng([seed, 8191, key])\n")
+        root = write_tree(tmp_path, files)
+        assert "REP801" not in active_rules(analyze_paths([root]))
+
+
+# ----------------------------------------------------------------------
+# REP802: unordered iteration
+# ----------------------------------------------------------------------
+class TestUnorderedIterationRule:
+    def test_unsorted_dict_view_into_journal_flagged(self, tmp_path):
+        # Deliberately broken copy of the real journal idiom:
+        # platform.py journals per-dataset reports — unsorted, the
+        # journal byte stream depends on insertion order.
+        root = tree(tmp_path, (
+            "from .persistence import append_journal\n"
+            "def journal_reports(path, reports):\n"
+            "    for name, report in reports.items():\n"
+            "        append_journal(path, {'dataset': name})\n"))
+        (finding,) = active(analyze_paths([root]), "REP802")
+        assert ".items()" in finding.message
+        assert "append_journal" in finding.message
+
+    def test_sorted_dict_view_clean(self, tmp_path):
+        root = tree(tmp_path, (
+            "from .persistence import append_journal\n"
+            "def journal_reports(path, reports):\n"
+            "    for name, report in sorted(reports.items()):\n"
+            "        append_journal(path, {'dataset': name})\n"))
+        assert "REP802" not in active_rules(analyze_paths([root]))
+
+    def test_set_iteration_reaching_sink_indirectly(self, tmp_path):
+        # Sets are flagged even when the sink is behind a project
+        # call — the index's call-graph fixed point finds it.
+        root = tree(tmp_path, (
+            "from .persistence import append_journal\n"
+            "def record(path, name):\n"
+            "    append_journal(path, {'n': name})\n"
+            "def flush(path, names):\n"
+            "    for name in set(names):\n"
+            "        record(path, name)\n"))
+        (finding,) = active(analyze_paths([root]), "REP802")
+        assert "set(...)" in finding.message
+        assert "record()" in finding.message
+
+    def test_dict_view_indirect_sink_not_flagged(self, tmp_path):
+        # Dict views only fire on a *direct* sink in the body:
+        # insertion order is deterministic more often than set order,
+        # so the indirect case would be noise.
+        root = tree(tmp_path, (
+            "from .persistence import append_journal\n"
+            "def record(path, name):\n"
+            "    append_journal(path, {'n': name})\n"
+            "def flush(path, reports):\n"
+            "    for name in reports.keys():\n"
+            "        record(path, name)\n"))
+        assert "REP802" not in active_rules(analyze_paths([root]))
+
+    def test_listing_into_rng_key_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "import os\n"
+            "import numpy as np\n"
+            "from ..nn.rng import STREAM_TAGS\n"
+            "def seed_all(seed, d):\n"
+            "    for name in os.listdir(d):\n"
+            "        np.random.default_rng(\n"
+            "            [seed, STREAM_TAGS.DETECT, len(name)])\n"))
+        (finding,) = active(analyze_paths([root]), "REP802")
+        assert "os.listdir" in finding.message
+
+    def test_iteration_without_sink_clean(self, tmp_path):
+        root = tree(tmp_path, (
+            "def total(counts):\n"
+            "    acc = 0\n"
+            "    for value in set(counts):\n"
+            "        acc += value\n"
+            "    return acc\n"))
+        assert "REP802" not in active_rules(analyze_paths([root]))
+
+
+# ----------------------------------------------------------------------
+# REP803: pickle-boundary purity
+# ----------------------------------------------------------------------
+class TestPickleBoundaryRule:
+    def test_lambda_through_submit_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "def fan_out(executor, work, items):\n"
+            "    return [executor.submit(work, lambda: item)\n"
+            "            for item in items]\n"))
+        (finding,) = active(analyze_paths([root]), "REP803")
+        assert "lambda" in finding.message
+        assert "executor.submit" in finding.message
+
+    def test_lock_through_pipe_send_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "def handoff(self, conn):\n"
+            "    conn.send(self._lock)\n"))
+        findings = active(analyze_paths([root]), "REP803")
+        assert any("lock-like attribute ._lock" in f.message
+                   for f in findings)
+
+    def test_tracer_through_initargs_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def pool(tracer):\n"
+            "    return ProcessPoolExecutor(\n"
+            "        max_workers=2, initargs=(tracer,))\n"))
+        (finding,) = active(analyze_paths([root]), "REP803")
+        assert "tracer" in finding.message
+        assert "initargs" in finding.message
+
+    def test_plain_data_payload_clean(self, tmp_path):
+        root = tree(tmp_path, (
+            "def fan_out(executor, work, payloads):\n"
+            "    return [executor.submit(work, p, 3, 'name')\n"
+            "            for p in payloads]\n"))
+        assert "REP803" not in active_rules(analyze_paths([root]))
+
+    def test_non_executor_submit_ignored(self, tmp_path):
+        # ``submit`` on an arbitrary receiver (e.g. a form object) is
+        # not a process boundary.
+        root = tree(tmp_path, (
+            "def push(form):\n"
+            "    form.submit(lambda: 1)\n"))
+        assert "REP803" not in active_rules(analyze_paths([root]))
+
+
+# ----------------------------------------------------------------------
+# REP804: snapshot/restore pairing
+# ----------------------------------------------------------------------
+class TestSwapPairingRule:
+    def test_unpaired_snapshot_flagged(self, tmp_path):
+        # Deliberately broken copy of updater._install: the snapshot
+        # is taken but a mid-install failure never rolls back.
+        root = tree(tmp_path, (
+            "from .updater import (snapshot_swap_state,\n"
+            "                      install_update)\n"
+            "def hot_swap(enld, model):\n"
+            "    state = snapshot_swap_state(enld)\n"
+            "    install_update(enld, model)\n"))
+        (finding,) = active(analyze_paths([root]), "REP804")
+        assert "restore_swap_state is never called" in finding.message
+
+    def test_paired_snapshot_clean(self, tmp_path):
+        # The canonical updater._install shape.
+        root = tree(tmp_path, (
+            "from .updater import (snapshot_swap_state,\n"
+            "                      restore_swap_state,\n"
+            "                      install_update)\n"
+            "def hot_swap(enld, model):\n"
+            "    state = snapshot_swap_state(enld)\n"
+            "    try:\n"
+            "        install_update(enld, model)\n"
+            "    except Exception:\n"
+            "        restore_swap_state(enld, state)\n"
+            "        raise\n"))
+        assert "REP804" not in active_rules(analyze_paths([root]))
+
+    def test_mutation_outside_protected_try_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "from .updater import (snapshot_swap_state,\n"
+            "                      restore_swap_state,\n"
+            "                      install_update)\n"
+            "def hot_swap(enld, model, extra):\n"
+            "    state = snapshot_swap_state(enld)\n"
+            "    try:\n"
+            "        install_update(enld, model)\n"
+            "    except Exception:\n"
+            "        restore_swap_state(enld, state)\n"
+            "        raise\n"
+            "    install_update(enld, extra)\n"))
+        (finding,) = active(analyze_paths([root]), "REP804")
+        assert "outside the try" in finding.message
+
+    def test_indirect_mutator_flagged(self, tmp_path):
+        # The exposed call reaches install_update through a helper.
+        root = tree(tmp_path, (
+            "from .updater import (snapshot_swap_state,\n"
+            "                      install_update)\n"
+            "def publish(enld, model):\n"
+            "    install_update(enld, model)\n"
+            "def hot_swap(enld, model):\n"
+            "    state = snapshot_swap_state(enld)\n"
+            "    publish(enld, model)\n"))
+        (finding,) = active(analyze_paths([root]), "REP804")
+        assert "publish()" in finding.message
+        assert "reaches a swap mutator" in finding.message
+
+    def test_snapshot_with_benign_calls_clean(self, tmp_path):
+        root = tree(tmp_path, (
+            "from .updater import snapshot_swap_state\n"
+            "def inspect(enld):\n"
+            "    state = snapshot_swap_state(enld)\n"
+            "    return len(state)\n"))
+        assert "REP804" not in active_rules(analyze_paths([root]))
+
+
+# ----------------------------------------------------------------------
+# REP805: nondeterminism sources
+# ----------------------------------------------------------------------
+class TestNondetFlowRule:
+    def test_getpid_into_journal_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "import os\n"
+            "from .persistence import append_journal\n"
+            "def stamp(path):\n"
+            "    append_journal(path, {'pid': os.getpid()})\n"))
+        (finding,) = active(analyze_paths([root]), "REP805")
+        assert "os.getpid" in finding.message
+
+    def test_taint_through_local_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "import uuid\n"
+            "from .persistence import append_journal\n"
+            "def stamp(path):\n"
+            "    run_id = str(uuid.uuid4())\n"
+            "    append_journal(path, {'run': run_id})\n"))
+        (finding,) = active(analyze_paths([root]), "REP805")
+        assert "through local 'run_id'" in finding.message
+
+    def test_id_into_rng_key_flagged(self, tmp_path):
+        root = tree(tmp_path, (
+            "import numpy as np\n"
+            "from ..nn.rng import STREAM_TAGS\n"
+            "def seed_for(seed, obj):\n"
+            "    return np.random.default_rng(\n"
+            "        [seed, STREAM_TAGS.DETECT, id(obj)])\n"))
+        findings = active(analyze_paths([root]), "REP805")
+        assert any("id()" in f.message for f in findings)
+
+    def test_wallclock_exempt_in_obs_layer(self, tmp_path):
+        files = dict(PKG)
+        files["repro/obs/__init__.py"] = ""
+        files["repro/obs/metrics.py"] = (
+            "import time\n"
+            "from ..datalake.persistence import append_journal\n"
+            "def stamp(path):\n"
+            "    append_journal(path, {'t': time.time()})\n")
+        root = write_tree(tmp_path, files)
+        assert "REP805" not in active_rules(analyze_paths([root]))
+
+    def test_wallclock_flagged_outside_obs(self, tmp_path):
+        root = tree(tmp_path, (
+            "import time\n"
+            "from .persistence import append_journal\n"
+            "def stamp(path):\n"
+            "    append_journal(path, {'t': time.time()})\n"))
+        findings = active(analyze_paths([root]), "REP805")
+        assert any("time.time" in f.message for f in findings)
+
+    def test_deterministic_payload_clean(self, tmp_path):
+        root = tree(tmp_path, (
+            "from .persistence import append_journal\n"
+            "def stamp(path, seq, digest):\n"
+            "    append_journal(path, {'seq': seq, 'sha': digest})\n"))
+        assert "REP805" not in active_rules(analyze_paths([root]))
+
+
+# ----------------------------------------------------------------------
+# Suppression, SARIF, fingerprints, cache (satellite 3)
+# ----------------------------------------------------------------------
+BROKEN_STREAM = (
+    "import numpy as np\n"
+    "from .persistence import append_journal\n"
+    "def arrival(seed, key):\n"
+    "    return np.random.default_rng([seed, 1234, key])\n"
+    "def flush(path, names):\n"
+    "    for name in set(names):\n"
+    "        append_journal(path, {'name': name})\n")
+
+
+class TestReporting:
+    def test_noqa_suppresses_rep8(self, tmp_path):
+        root = tree(tmp_path, (
+            "import numpy as np\n"
+            "def arrival(seed, key):\n"
+            "    return np.random.default_rng("
+            "[seed, 1234, key])  # repro: noqa[REP801]\n"))
+        result = analyze_paths([root])
+        assert "REP801" not in active_rules(result)
+        assert any(f.rule == "REP801" and f.suppressed == "noqa"
+                   for f in result.findings)
+
+    def test_sarif_round_trip(self, tmp_path):
+        root = tree(tmp_path, BROKEN_STREAM)
+        sarif = json.loads(json.dumps(
+            render_sarif(analyze_paths([root]))))
+        (run,) = sarif["runs"]
+        catalog = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"REP801", "REP802", "REP803", "REP804",
+                "REP805"} <= catalog
+        by_rule = {}
+        for res in run["results"]:
+            by_rule.setdefault(res["ruleId"], []).append(res)
+        assert len(by_rule["REP801"]) == 1
+        assert len(by_rule["REP802"]) == 1
+        (rep801,) = by_rule["REP801"]
+        assert rep801["level"] == "error"
+        loc = rep801["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("stream.py")
+        assert loc["region"]["startLine"] == 4
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        root = tree(tmp_path, BROKEN_STREAM)
+        first = {(f.rule, f.fingerprint, f.line)
+                 for f in analyze_paths([root]).findings
+                 if f.rule.startswith("REP8")}
+        # Shift every line down by three without touching content.
+        target = tmp_path / "repro" / "datalake" / "stream.py"
+        target.write_text('"""Docstring."""\n# moved\n\n'
+                          + BROKEN_STREAM)
+        second = {(f.rule, f.fingerprint, f.line)
+                  for f in analyze_paths([root]).findings
+                  if f.rule.startswith("REP8")}
+        assert {(r, fp) for r, fp, _line in first} \
+            == {(r, fp) for r, fp, _line in second}
+        assert {line for _r, _fp, line in first} \
+            != {line for _r, _fp, line in second}
+
+    def test_baseline_holds_across_line_shift(self, tmp_path):
+        root = tree(tmp_path, BROKEN_STREAM)
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(baseline_path,
+                       analyze_paths([root]).findings)
+        target = tmp_path / "repro" / "datalake" / "stream.py"
+        target.write_text("# preamble\n\n" + BROKEN_STREAM)
+        result = analyze_paths(
+            [root], baseline=load_baseline(baseline_path))
+        assert active_rules(result) == []
+        assert result.stale_baseline == []
+        assert any(f.suppressed == "baseline" for f in result.findings)
+
+    def test_warm_cache_replays_rep8_findings(self, tmp_path):
+        root = tree(tmp_path, BROKEN_STREAM)
+        cache_dir = str(tmp_path / "cache")
+        cold = analyze_paths([root], cache_dir=cache_dir)
+        warm = analyze_paths([root], cache_dir=cache_dir)
+        assert cold.cache_misses == cold.files_scanned > 0
+        assert warm.cache_hits == warm.files_scanned
+        assert warm.cache_misses == 0
+        assert ([(f.rule, f.fingerprint) for f in cold.findings]
+                == [(f.rule, f.fingerprint) for f in warm.findings])
+        assert active(warm, "REP801") and active(warm, "REP802")
+
+
+# ----------------------------------------------------------------------
+# --rules family filter (satellite 6)
+# ----------------------------------------------------------------------
+class TestRulesFilter:
+    def test_rule_enabled_semantics(self):
+        assert rule_enabled("REP801", None)
+        assert rule_enabled("REP801", ("REP8",))
+        assert rule_enabled("REP805", ("REP80",))
+        assert not rule_enabled("REP702", ("REP8",))
+        assert not rule_enabled("REP101", ("REP8", "REP6"))
+        # The syntax-error rule always runs.
+        assert rule_enabled("REP001", ("REP8",))
+
+    def test_filter_restricts_findings(self, tmp_path):
+        root = tree(tmp_path, BROKEN_STREAM)
+        full = analyze_paths([root])
+        scoped = analyze_paths([root], rules=("REP8",))
+        assert all(f.rule.startswith("REP8")
+                   for f in scoped.findings)
+        assert active_rules(scoped) == [
+            r for r in active_rules(full) if r.startswith("REP8")]
+
+    def test_syntax_error_survives_filter(self, tmp_path):
+        root = tree(tmp_path, "def broken(:\n")
+        result = analyze_paths([root], rules=("REP8",))
+        assert "REP001" in active_rules(result)
+
+    def test_filtered_run_does_not_poison_cache(self, tmp_path):
+        root = tree(tmp_path, BROKEN_STREAM)
+        cache_dir = str(tmp_path / "cache")
+        scoped = analyze_paths([root], cache_dir=cache_dir,
+                               rules=("REP8",))
+        assert scoped.cache_hits == 0
+        # The partial per-file results were not stored: the full run
+        # still re-analyzes every file and sees every family.
+        full = analyze_paths([root], cache_dir=cache_dir)
+        assert full.cache_misses == full.files_scanned
+        assert active(full, "REP801")
+
+    def test_filtered_run_replays_full_cache(self, tmp_path):
+        root = tree(tmp_path, BROKEN_STREAM)
+        cache_dir = str(tmp_path / "cache")
+        analyze_paths([root], cache_dir=cache_dir)
+        scoped = analyze_paths([root], cache_dir=cache_dir,
+                               rules=("REP8",))
+        assert scoped.cache_hits == scoped.files_scanned
+        assert active(scoped, "REP801")
+        assert all(f.rule.startswith("REP8")
+                   for f in scoped.findings)
+
+    def test_stale_baseline_scoped_to_filter(self, tmp_path):
+        root = tree(tmp_path, BROKEN_STREAM)
+        baseline = {"deadbeefdeadbeef": {"rule": "REP603",
+                                         "path": "x.py", "line": 1,
+                                         "message": "gone"}}
+        scoped = analyze_paths([root], baseline=baseline,
+                               rules=("REP8",))
+        assert scoped.stale_baseline == []
+        full = analyze_paths([root], baseline=baseline)
+        assert full.stale_baseline == ["deadbeefdeadbeef"]
+
+    def test_cli_rules_flag(self, tmp_path, capsys):
+        root = tree(tmp_path, BROKEN_STREAM)
+        code = cli_main(["lint", root, "--no-cache",
+                         "--rules", "REP8", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert {f["rule"] for f in payload["findings"]} \
+            <= {"REP801", "REP802", "REP803", "REP804", "REP805"}
+
+    def test_cli_rejects_empty_rules(self, capsys):
+        assert cli_main(["lint", "--rules", " , "]) == 2
+        assert "at least one prefix" in capsys.readouterr().err
+
+    def test_cli_rejects_rules_with_write_baseline(self, tmp_path,
+                                                   capsys):
+        root = tree(tmp_path, BROKEN_STREAM)
+        code = cli_main(["lint", root, "--no-cache", "--rules",
+                         "REP8", "--write-baseline"])
+        assert code == 2
+        assert "--write-baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Live tree (tentpole acceptance)
+# ----------------------------------------------------------------------
+class TestLiveTree:
+    def test_no_unbaselined_rep8xx_findings(self):
+        # The determinism contract of the real codebase: every REP8xx
+        # finding is either fixed or explicitly suppressed.  New RNG
+        # streams must arrive registered; new swap paths paired.
+        result = analyze_paths([LIVE_SRC])
+        rep8 = [f"{f.key}:{f.line} {f.rule} {f.message}"
+                for f in result.findings
+                if f.rule.startswith("REP8") and f.suppressed is None]
+        assert rep8 == []
+
+    def test_index_registry_matches_runtime_registry(self):
+        graph = build_graph([LIVE_SRC])
+        index = determinism_index(graph, DEFAULT_CONFIG)
+        assert index.registry == {
+            name: getattr(STREAM_TAGS, name)
+            for name in STREAM_TAGS.names()}
+        assert index.registry_module == "repro.nn.rng"
+
+    def test_rng_call_sites_migrated_onto_registry(self):
+        # The PR that introduced REP801 also migrated every tag use
+        # onto STREAM_TAGS — no inline literal or module-local
+        # constant may creep back into these modules.
+        graph = build_graph([LIVE_SRC])
+        for module, expect in (
+                ("repro.datalake.ingest",
+                 {"DETECT", "INGEST_JITTER"}),
+                ("repro.datalake.platform",
+                 {"SUBMIT_JITTER", "RESEED"}),
+                ("repro.datalake.updater", {"UPDATE_BACKOFF"})):
+            uses = graph.modules[module].determinism.tag_uses
+            assert uses, f"{module} lost its tag uses"
+            assert all(u.kind == "ref" for u in uses), module
+            members = {u.name.rpartition("STREAM_TAGS.")[2]
+                       for u in uses}
+            assert expect <= members, (module, members)
+
+    def test_updater_install_is_the_paired_pattern(self):
+        graph = build_graph([LIVE_SRC])
+        facts = graph.modules["repro.datalake.updater"].determinism
+        snaps = [s for s in facts.snapshots
+                 if s.func == "ModelUpdateService._install"]
+        assert len(snaps) == 1
+        assert snaps[0].has_restore and snaps[0].exposed == ()
